@@ -1,0 +1,83 @@
+//! Format conversions between 2's complement and redundant binary (§3.2).
+//!
+//! The conversion **into** redundant binary is free: all bits except the
+//! sign bit feed the positive digit plane, and the sign bit feeds the
+//! negative plane (its 2's-complement weight is `−2^63`, exactly a `−1`
+//! digit). The conversion **back** requires a full carry-propagating
+//! subtraction `X⁺ − X⁻`, which is why the paper charges it two pipeline
+//! stages (CV1/CV2) and why avoiding it on dependent-chain forwarding is the
+//! whole game.
+
+use crate::number::RbNumber;
+
+/// Converts a 2's-complement quadword to redundant binary (free, hardwired).
+///
+/// Alias of [`RbNumber::from_i64`]; provided so the two conversion
+/// directions live side by side.
+#[inline]
+pub fn tc_to_rb(v: i64) -> RbNumber {
+    RbNumber::from_i64(v)
+}
+
+/// Converts a redundant binary number back to a 2's-complement quadword by
+/// subtracting the negative plane from the positive plane.
+///
+/// This models the slow direction: a conventional 64-bit subtraction with
+/// full carry propagation. The result is the value modulo `2^64`.
+#[inline]
+pub fn rb_to_tc(n: RbNumber) -> i64 {
+    n.to_i64()
+}
+
+/// Converts a 2's-complement longword, hardwiring bit 31 into the negative
+/// plane of digit 31 so the longword keeps the correct sign (§3.6).
+///
+/// Alias of [`RbNumber::from_i32`].
+#[inline]
+pub fn tc_to_rb_longword(v: i32) -> RbNumber {
+    RbNumber::from_i32(v)
+}
+
+/// The number of pipeline stages the paper charges for the redundant binary
+/// → 2's complement conversion (CV1 and CV2 in the pipeline diagrams).
+pub const CONVERSION_STAGES: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity_on_values() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 0x0123_4567_89ab_cdef] {
+            assert_eq!(rb_to_tc(tc_to_rb(v)), v);
+        }
+    }
+
+    #[test]
+    fn into_rb_is_hardwired() {
+        // The free conversion must not move any bit except routing the sign
+        // bit to the negative plane.
+        let v = -2i64; // 0xFFFF...FE
+        let n = tc_to_rb(v);
+        assert_eq!(n.plus(), (v as u64) & !(1 << 63));
+        assert_eq!(n.minus(), 1 << 63);
+    }
+
+    #[test]
+    fn longword_conversion_sign() {
+        let n = tc_to_rb_longword(-1);
+        assert_eq!(n.to_i64(), -1);
+        assert_eq!(n.minus(), 1 << 31, "bit 31 must be hardwired negative");
+        let p = tc_to_rb_longword(5);
+        assert_eq!(p.minus(), 0);
+        assert_eq!(p.to_i64(), 5);
+    }
+
+    #[test]
+    fn rb_to_tc_reduces_modulo() {
+        // A hand-built representation of 2^63 (not an i64 value) reduces to
+        // the wrapped pattern.
+        let n = RbNumber::from_digits(&[(63, 1)]).unwrap();
+        assert_eq!(rb_to_tc(n), i64::MIN);
+    }
+}

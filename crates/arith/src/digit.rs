@@ -1,0 +1,166 @@
+//! Individual signed digits of a redundant binary number.
+
+use core::fmt;
+use core::ops::Neg;
+
+/// One digit of a redundant binary (signed-digit, radix-2) number.
+///
+/// Each digit takes a value from `{-1, 0, 1}` and is encoded in hardware by
+/// two bits — one asserting the digit is positive, one asserting it is
+/// negative (the paper's `<neg, pos>` encoding, §3.2). The `<1,1>` pattern is
+/// never used.
+///
+/// # Example
+///
+/// ```
+/// use redbin_arith::RbDigit;
+///
+/// let d = RbDigit::NegOne;
+/// assert_eq!(d.value(), -1);
+/// assert_eq!(-d, RbDigit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RbDigit {
+    /// The digit −1 (encoded `<1,0>`).
+    NegOne,
+    /// The digit 0 (encoded `<0,0>`).
+    #[default]
+    Zero,
+    /// The digit +1 (encoded `<0,1>`).
+    One,
+}
+
+impl RbDigit {
+    /// The digit's numeric value: −1, 0, or +1.
+    #[inline]
+    pub fn value(self) -> i8 {
+        match self {
+            RbDigit::NegOne => -1,
+            RbDigit::Zero => 0,
+            RbDigit::One => 1,
+        }
+    }
+
+    /// Builds a digit from the two-bit hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both `pos` and `neg` are set: `<1,1>` is not a legal
+    /// encoding in the paper's representation.
+    #[inline]
+    pub fn from_bits(pos: bool, neg: bool) -> Self {
+        match (pos, neg) {
+            (false, false) => RbDigit::Zero,
+            (true, false) => RbDigit::One,
+            (false, true) => RbDigit::NegOne,
+            (true, true) => panic!("<1,1> is not a legal redundant binary digit encoding"),
+        }
+    }
+
+    /// Builds a digit from an integer value in `{-1, 0, 1}`.
+    ///
+    /// Returns `None` for any other value.
+    #[inline]
+    pub fn from_value(v: i8) -> Option<Self> {
+        match v {
+            -1 => Some(RbDigit::NegOne),
+            0 => Some(RbDigit::Zero),
+            1 => Some(RbDigit::One),
+            _ => None,
+        }
+    }
+
+    /// The positive bit of the hardware encoding.
+    #[inline]
+    pub fn pos_bit(self) -> bool {
+        self == RbDigit::One
+    }
+
+    /// The negative bit of the hardware encoding.
+    #[inline]
+    pub fn neg_bit(self) -> bool {
+        self == RbDigit::NegOne
+    }
+
+    /// `true` if the digit is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == RbDigit::Zero
+    }
+}
+
+impl Neg for RbDigit {
+    type Output = RbDigit;
+
+    #[inline]
+    fn neg(self) -> RbDigit {
+        match self {
+            RbDigit::NegOne => RbDigit::One,
+            RbDigit::Zero => RbDigit::Zero,
+            RbDigit::One => RbDigit::NegOne,
+        }
+    }
+}
+
+impl fmt::Display for RbDigit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbDigit::NegOne => f.write_str("-1"),
+            RbDigit::Zero => f.write_str("0"),
+            RbDigit::One => f.write_str("1"),
+        }
+    }
+}
+
+impl From<RbDigit> for i8 {
+    #[inline]
+    fn from(d: RbDigit) -> i8 {
+        d.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        for v in [-1i8, 0, 1] {
+            assert_eq!(RbDigit::from_value(v).unwrap().value(), v);
+        }
+        assert_eq!(RbDigit::from_value(2), None);
+        assert_eq!(RbDigit::from_value(-2), None);
+    }
+
+    #[test]
+    fn bit_encoding_round_trips() {
+        for d in [RbDigit::NegOne, RbDigit::Zero, RbDigit::One] {
+            assert_eq!(RbDigit::from_bits(d.pos_bit(), d.neg_bit()), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a legal")]
+    fn illegal_encoding_panics() {
+        let _ = RbDigit::from_bits(true, true);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(-RbDigit::One, RbDigit::NegOne);
+        assert_eq!(-RbDigit::NegOne, RbDigit::One);
+        assert_eq!(-RbDigit::Zero, RbDigit::Zero);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RbDigit::NegOne.to_string(), "-1");
+        assert_eq!(RbDigit::Zero.to_string(), "0");
+        assert_eq!(RbDigit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(RbDigit::default(), RbDigit::Zero);
+    }
+}

@@ -1,0 +1,65 @@
+//! Microbenchmarks for the front-end substrates: branch prediction and the
+//! cache hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use redbin::isa::Opcode;
+use redbin::sim::bpred::BranchPredictor;
+use redbin::sim::cache::MemoryHierarchy;
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("bpred_predict_update_1k", |bench| {
+        bench.iter(|| {
+            let mut p = BranchPredictor::new();
+            let mut t = 0u64;
+            for i in 0..1000usize {
+                let taken = (i * 2654435761) % 7 < 4;
+                let pred = p.predict_and_update(i & 0xff, Opcode::Bne, taken, i + 1, Some(i + 1));
+                t += pred.taken as u64;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("hierarchy_hit_stream_1k", |bench| {
+        let mut h = MemoryHierarchy::new(
+            (64 * 1024, 4, 64, 2),
+            (8 * 1024, 2, 64, 2),
+            (1024 * 1024, 8, 64, 8, 2, 2),
+            (100, 32, 4),
+        );
+        // Warm a small region.
+        for i in 0..64u64 {
+            h.access_data(i * 64, 0);
+        }
+        bench.iter(|| {
+            let mut t = 0u64;
+            for i in 0..1000u64 {
+                t += h.access_data(black_box((i % 64) * 64), i).0;
+            }
+            black_box(t)
+        })
+    });
+
+    c.bench_function("hierarchy_miss_stream_1k", |bench| {
+        let mut h = MemoryHierarchy::new(
+            (64 * 1024, 4, 64, 2),
+            (8 * 1024, 2, 64, 2),
+            (1024 * 1024, 8, 64, 8, 2, 2),
+            (100, 32, 4),
+        );
+        let mut addr = 0u64;
+        bench.iter(|| {
+            let mut t = 0u64;
+            for i in 0..1000u64 {
+                addr = addr.wrapping_add(0x10_0040);
+                t += h.access_data(black_box(addr), i).0;
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group!(benches, bench_bpred, bench_caches);
+criterion_main!(benches);

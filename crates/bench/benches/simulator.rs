@@ -1,0 +1,42 @@
+//! End-to-end simulator throughput: simulated instructions per wall-clock
+//! second on representative kernels, per machine model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redbin::prelude::*;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_kernel_test_scale");
+    group.sample_size(10);
+    for b in [Benchmark::Go, Benchmark::Gap, Benchmark::Mcf] {
+        let program = b.program(Scale::Test);
+        for model in [CoreModel::Baseline, CoreModel::RbFull] {
+            group.bench_function(format!("{}_{}", b.name(), model.name()), |bench| {
+                bench.iter_batched(
+                    || Simulator::new(MachineConfig::new(model, 8), &program),
+                    |sim| sim.run().expect("runs"),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_faithful_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faithful_datapath");
+    group.sample_size(10);
+    let program = Benchmark::Gap.program(Scale::Test);
+    for mode in [DatapathMode::Fast, DatapathMode::Faithful] {
+        group.bench_function(format!("{mode:?}"), |bench| {
+            bench.iter_batched(
+                || Simulator::new(MachineConfig::rb_full(8).with_datapath(mode), &program),
+                |sim| sim.run().expect("runs"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_faithful_overhead);
+criterion_main!(benches);

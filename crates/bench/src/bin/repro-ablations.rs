@@ -1,0 +1,27 @@
+//! Ablation studies beyond the paper: conversion latency, cluster delay,
+//! and window size sweeps.
+
+use redbin::experiments;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    println!("Conversion-latency sweep (8-wide RB-full, h-mean IPC over all 20):");
+    for (conv, hm) in experiments::conversion_sweep(&cfg, &[1, 2, 3, 4]) {
+        println!("  CV = {conv} cycles: {hm:.3}");
+    }
+    println!();
+    println!("Inter-cluster delay sweep (8-wide Ideal):");
+    for (d, hm) in experiments::cluster_sweep(&cfg, &[0, 1, 2, 3]) {
+        println!("  +{d} cycles: {hm:.3}");
+    }
+    println!();
+    println!("Window-size sweep (8-wide Ideal):");
+    for (w, hm) in experiments::window_sweep(&cfg, &[32, 64, 128, 256]) {
+        println!("  {w} entries: {hm:.3}");
+    }
+    println!();
+    println!("Steering policies on RB-limited (§4.2 future work):");
+    for (name, width, hm) in experiments::steering_comparison(&cfg) {
+        println!("  {name:>18} w{width}: {hm:.3}");
+    }
+}

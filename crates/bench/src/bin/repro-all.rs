@@ -1,0 +1,34 @@
+//! Runs every table and figure reproduction in sequence — the full
+//! evaluation section of the paper.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    println!("=== §3.4 delays ===");
+    print!("{}", experiments::delay_report());
+    println!();
+    println!("=== Table 1 ===");
+    let (merged, per) = experiments::table1(&cfg);
+    print!("{}", report::render_table1(&merged, &per));
+    println!();
+    println!("=== Table 3 ===");
+    print!("{}", report::render_table3(&experiments::table3()));
+    println!();
+    for (n, fig) in [
+        (9, experiments::figure9(&cfg)),
+        (10, experiments::figure10(&cfg)),
+        (11, experiments::figure11(&cfg)),
+        (12, experiments::figure12(&cfg)),
+    ] {
+        println!("=== Figure {n} ===");
+        print!("{}", report::render_ipc_figure(&fig, &format!("Figure {n}.")));
+        println!();
+    }
+    println!("=== Figure 13 ===");
+    print!("{}", report::render_figure13(&experiments::figure13(&cfg)));
+    println!();
+    println!("=== Figure 14 ===");
+    print!("{}", report::render_figure14(&experiments::figure14(&cfg)));
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 10: IPC of the four machines.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    let fig = experiments::figure10(&cfg);
+    print!("{}", report::render_ipc_figure(&fig, "Figure 10."));
+    println!();
+    print!("{}", report::render_ipc_bars(&fig));
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 12: IPC of the four machines.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    let fig = experiments::figure12(&cfg);
+    print!("{}", report::render_ipc_figure(&fig, "Figure 12."));
+    println!();
+    print!("{}", report::render_ipc_bars(&fig));
+}

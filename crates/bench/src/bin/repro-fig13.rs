@@ -1,0 +1,11 @@
+//! Reproduces Figure 13: potentially critical bypass cases on the 8-wide
+//! RB-full machine.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    let fig = experiments::figure13(&cfg);
+    print!("{}", report::render_figure13(&fig));
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 14: harmonic-mean IPC under limited bypass networks.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    let fig = experiments::figure14(&cfg);
+    print!("{}", report::render_figure14(&fig));
+}

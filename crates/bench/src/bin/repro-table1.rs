@@ -1,0 +1,10 @@
+//! Reproduces Table 1: dynamic instruction classification by data format.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    let cfg = redbin_bench::experiment_config();
+    let (merged, per) = experiments::table1(&cfg);
+    print!("{}", report::render_table1(&merged, &per));
+}

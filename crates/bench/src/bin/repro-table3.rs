@@ -1,0 +1,8 @@
+//! Reproduces Table 3: instruction class latencies on each machine.
+
+use redbin::experiments;
+use redbin::report;
+
+fn main() {
+    print!("{}", report::render_table3(&experiments::table3()));
+}

@@ -1,0 +1,16 @@
+//! Prints the dynamic profile of every benchmark proxy — the evidence for
+//! DESIGN.md's claim that each proxy resembles its SPEC namesake.
+
+use redbin::workload::profile::Profile;
+use redbin::workload::Benchmark;
+
+fn main() {
+    let scale = redbin_bench::scale_from_args();
+    for b in Benchmark::all() {
+        let program = b.program(scale);
+        match Profile::measure(&program, 1_000_000_000) {
+            Ok(p) => print!("{p}"),
+            Err(e) => eprintln!("{b:?}: {e}"),
+        }
+    }
+}

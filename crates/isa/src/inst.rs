@@ -1,0 +1,297 @@
+//! The instruction container and its operand accessors.
+
+use core::fmt;
+
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+
+/// The second operand of an operate-format instruction: a register or an
+/// immediate literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register source.
+    Reg(Reg),
+    /// An immediate literal (the Alpha has 8-bit literals; the structural
+    /// encoding is not bit-limited, and the workloads keep values small).
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// One static instruction.
+///
+/// The same container serves all formats; the opcode determines which
+/// fields are meaningful:
+///
+/// * **operate** (`Addq`, `And`, …): `rc ← ra ⊕ rb`; conditional moves also
+///   read the old `rc`.
+/// * **memory** (`Ldq`/`Stq`, …): effective address `ra + disp`; loads
+///   write `rc`, stores read `rc` as the data source.
+/// * **branch** (`Beq`, …): test `ra`, target `pc + 1 + disp` (instruction
+///   indices); `Br`/`Bsr` ignore `ra`; `Bsr` writes the return index to
+///   `rc`; `Jmp`/`Ret` jump to the index in `ra`.
+/// * `Lda`/`Ldah` use `disp` as their immediate: `rc ← ra + disp(,·2¹⁶)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// First register source (base register for memory, test for branches).
+    pub ra: Reg,
+    /// Second source: register or immediate (operate format only).
+    pub rb: Operand,
+    /// Destination register (data source for stores).
+    pub rc: Reg,
+    /// Displacement: memory offset in bytes, branch offset in instructions,
+    /// or the `Lda`/`Ldah` immediate.
+    pub disp: i64,
+}
+
+impl Inst {
+    /// Builds an operate-format instruction `rc ← ra ⊕ rb`.
+    pub fn op(op: Opcode, ra: Reg, rb: Operand, rc: Reg) -> Self {
+        Inst {
+            op,
+            ra,
+            rb,
+            rc,
+            disp: 0,
+        }
+    }
+
+    /// Builds `Lda`/`Ldah`-style `rc ← ra + imm`.
+    pub fn lda(op: Opcode, ra: Reg, disp: i64, rc: Reg) -> Self {
+        Inst {
+            op,
+            ra,
+            rb: Operand::Imm(0),
+            rc,
+            disp,
+        }
+    }
+
+    /// Builds a memory instruction with effective address `ra + disp`.
+    /// For loads `rc` is the destination; for stores it is the data source.
+    pub fn mem(op: Opcode, rc: Reg, base: Reg, disp: i64) -> Self {
+        Inst {
+            op,
+            ra: base,
+            rb: Operand::Imm(0),
+            rc,
+            disp,
+        }
+    }
+
+    /// Builds a conditional branch testing `ra`, targeting `pc + 1 + disp`.
+    pub fn branch(op: Opcode, ra: Reg, disp: i64) -> Self {
+        Inst {
+            op,
+            ra,
+            rb: Operand::Imm(0),
+            rc: Reg::R31,
+            disp,
+        }
+    }
+
+    /// Builds an unconditional `Br` with the given displacement.
+    pub fn br(disp: i64) -> Self {
+        Inst::branch(Opcode::Br, Reg::R31, disp)
+    }
+
+    /// Builds a `Bsr` linking into `rc`.
+    pub fn bsr(disp: i64, rc: Reg) -> Self {
+        Inst {
+            op: Opcode::Bsr,
+            ra: Reg::R31,
+            rb: Operand::Imm(0),
+            rc,
+            disp,
+        }
+    }
+
+    /// Builds a `Ret` jumping to the index in `ra`.
+    pub fn ret(ra: Reg) -> Self {
+        Inst {
+            op: Opcode::Ret,
+            ra,
+            rb: Operand::Imm(0),
+            rc: Reg::R31,
+            disp: 0,
+        }
+    }
+
+    /// Builds a `Halt`.
+    pub fn halt() -> Self {
+        Inst {
+            op: Opcode::Halt,
+            ra: Reg::R31,
+            rb: Operand::Imm(0),
+            rc: Reg::R31,
+            disp: 0,
+        }
+    }
+
+    /// The register sources this instruction reads, in canonical order:
+    ///
+    /// * operate: `[ra, rb?]` (plus the old `rc` for conditional moves)
+    /// * load: `[ra]` — the base register
+    /// * store: `[ra, rc]` — base, then data
+    /// * conditional branch / `Jmp` / `Ret`: `[ra]`
+    ///
+    /// `r31` sources are omitted (they are hardwired zero, never a
+    /// dependence), as are immediate operands.
+    pub fn sources(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(3);
+        let mut push = |r: Reg| {
+            if !r.is_zero_reg() {
+                out.push(r);
+            }
+        };
+        match self.op {
+            Opcode::Br | Opcode::Bsr | Opcode::Halt => {}
+            Opcode::Lda | Opcode::Ldah => push(self.ra),
+            op if op.is_load() => push(self.ra),
+            op if op.is_store() => {
+                push(self.ra);
+                push(self.rc);
+            }
+            op if op.is_conditional_branch() || op.is_indirect() => push(self.ra),
+            op if op.is_cmov() => {
+                push(self.ra);
+                if let Operand::Reg(r) = self.rb {
+                    push(r);
+                }
+                push(self.rc); // old destination value
+            }
+            _ => {
+                push(self.ra);
+                if let Operand::Reg(r) = self.rb {
+                    push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// The destination register, if the instruction writes one (and it is
+    /// not the zero register).
+    pub fn dest(&self) -> Option<Reg> {
+        if self.op.writes_dest() && !self.rc.is_zero_reg() {
+            Some(self.rc)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        if self.op.is_mem() {
+            write!(f, "{m} {}, {}({})", self.rc, self.disp, self.ra)
+        } else if self.op.is_conditional_branch() {
+            write!(f, "{m} {}, {:+}", self.ra, self.disp)
+        } else if matches!(self.op, Opcode::Br) {
+            write!(f, "{m} {:+}", self.disp)
+        } else if matches!(self.op, Opcode::Bsr) {
+            write!(f, "{m} {}, {:+}", self.rc, self.disp)
+        } else if self.op.is_indirect() {
+            write!(f, "{m} ({})", self.ra)
+        } else if matches!(self.op, Opcode::Lda | Opcode::Ldah) {
+            write!(f, "{m} {}, {}({})", self.rc, self.disp, self.ra)
+        } else if matches!(self.op, Opcode::Halt) {
+            write!(f, "{m}")
+        } else {
+            match self.rb {
+                Operand::Reg(r) => write!(f, "{m} {}, {}, {}", self.ra, r, self.rc),
+                Operand::Imm(v) => write!(f, "{m} {}, #{v}, {}", self.ra, self.rc),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_for_operate() {
+        let i = Inst::op(Opcode::Addq, Reg(1), Operand::Reg(Reg(2)), Reg(3));
+        assert_eq!(i.sources(), vec![Reg(1), Reg(2)]);
+        assert_eq!(i.dest(), Some(Reg(3)));
+        let imm = Inst::op(Opcode::Addq, Reg(1), Operand::Imm(5), Reg(3));
+        assert_eq!(imm.sources(), vec![Reg(1)]);
+    }
+
+    #[test]
+    fn r31_never_appears() {
+        let i = Inst::op(Opcode::Addq, Reg::R31, Operand::Reg(Reg::R31), Reg::R31);
+        assert!(i.sources().is_empty());
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let s = Inst::mem(Opcode::Stq, Reg(5), Reg(6), 16);
+        assert_eq!(s.sources(), vec![Reg(6), Reg(5)]);
+        assert_eq!(s.dest(), None);
+    }
+
+    #[test]
+    fn load_reads_base_only() {
+        let l = Inst::mem(Opcode::Ldq, Reg(5), Reg(6), 16);
+        assert_eq!(l.sources(), vec![Reg(6)]);
+        assert_eq!(l.dest(), Some(Reg(5)));
+    }
+
+    #[test]
+    fn cmov_reads_old_dest() {
+        let c = Inst::op(Opcode::Cmoveq, Reg(1), Operand::Reg(Reg(2)), Reg(3));
+        assert_eq!(c.sources(), vec![Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(c.dest(), Some(Reg(3)));
+    }
+
+    #[test]
+    fn branch_reads_test_reg() {
+        let b = Inst::branch(Opcode::Bne, Reg(4), -3);
+        assert_eq!(b.sources(), vec![Reg(4)]);
+        assert_eq!(b.dest(), None);
+    }
+
+    #[test]
+    fn bsr_links() {
+        let b = Inst::bsr(10, Reg::RA);
+        assert!(b.sources().is_empty());
+        assert_eq!(b.dest(), Some(Reg::RA));
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Inst::op(Opcode::Addq, Reg(1), Operand::Imm(5), Reg(3));
+        assert_eq!(i.to_string(), "addq r1, #5, r3");
+        let l = Inst::mem(Opcode::Ldq, Reg(5), Reg(6), 16);
+        assert_eq!(l.to_string(), "ldq r5, 16(r6)");
+        let b = Inst::branch(Opcode::Beq, Reg(2), -4);
+        assert_eq!(b.to_string(), "beq r2, -4");
+    }
+}

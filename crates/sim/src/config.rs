@@ -1,0 +1,421 @@
+//! Machine configuration: the §5.1 core models, Table 2 parameters, and
+//! Table 3 latencies.
+
+use redbin_isa::class::{latency_class, LatencyClass};
+use redbin_isa::format::{output_format, ValueFormat};
+use redbin_isa::Opcode;
+
+/// Which execution core is being modeled (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// 2-cycle pipelined 2's-complement ALUs (Figure 1, configuration B).
+    Baseline,
+    /// 1-cycle redundant binary adders, 2-cycle converters, TC register
+    /// files only, and the §4.2 limited bypass network (BYP-2 removed;
+    /// BYP-3 unusable by RB-input ALUs → a 2-cycle availability hole).
+    RbLimited,
+    /// 1-cycle redundant binary adders with both TC and RB register files:
+    /// redundant results are continuously available to redundant consumers.
+    RbFull,
+    /// 1-cycle 2's-complement ALUs — the upper bound.
+    Ideal,
+}
+
+impl CoreModel {
+    /// `true` for the two redundant binary machines.
+    pub fn is_rb(self) -> bool {
+        matches!(self, CoreModel::RbLimited | CoreModel::RbFull)
+    }
+
+    /// The name used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::Baseline => "Baseline",
+            CoreModel::RbLimited => "RB-limited",
+            CoreModel::RbFull => "RB-full",
+            CoreModel::Ideal => "Ideal",
+        }
+    }
+
+    /// The four machines in figure order.
+    pub fn all() -> &'static [CoreModel] {
+        &[
+            CoreModel::Baseline,
+            CoreModel::RbLimited,
+            CoreModel::RbFull,
+            CoreModel::Ideal,
+        ]
+    }
+}
+
+impl std::fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which levels of the (up to 3-level) bypass network exist — the Figure 14
+/// limited-bypass experiment removes levels from the Ideal machine.
+///
+/// Level `ℓ` forwards a result produced at the end of cycle `t` to
+/// executions beginning at cycle `t + ℓ`; with a 2-cycle register file the
+/// register file itself serves executions from `t + 4` onward, so removing
+/// levels creates *holes* in availability that the scheduler must schedule
+/// around (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BypassLevels {
+    /// First-level (back-to-back) bypass paths exist.
+    pub l1: bool,
+    /// Second-level bypass paths exist.
+    pub l2: bool,
+    /// Third-level bypass paths exist.
+    pub l3: bool,
+}
+
+impl BypassLevels {
+    /// The full network.
+    pub const FULL: BypassLevels = BypassLevels {
+        l1: true,
+        l2: true,
+        l3: true,
+    };
+
+    /// Builds a configuration by listing the removed levels (1-indexed, as
+    /// the paper names them: `No-1`, `No-2,3`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level outside 1–3 is named.
+    pub fn without(removed: &[u8]) -> Self {
+        let mut b = BypassLevels::FULL;
+        for &l in removed {
+            match l {
+                1 => b.l1 = false,
+                2 => b.l2 = false,
+                3 => b.l3 = false,
+                _ => panic!("bypass level {l} out of range 1-3"),
+            }
+        }
+        b
+    }
+
+    /// `true` if level `l` (1-indexed) is present.
+    pub fn has(self, l: u64) -> bool {
+        match l {
+            1 => self.l1,
+            2 => self.l2,
+            3 => self.l3,
+            _ => false,
+        }
+    }
+
+    /// The paper's name for the configuration (`Full`, `No-1`, `No-1,2`…).
+    pub fn label(self) -> String {
+        let removed: Vec<&str> = [(self.l1, "1"), (self.l2, "2"), (self.l3, "3")]
+            .iter()
+            .filter(|(p, _)| !p)
+            .map(|(_, n)| *n)
+            .collect();
+        if removed.is_empty() {
+            "Full".to_string()
+        } else {
+            format!("No-{}", removed.join(","))
+        }
+    }
+}
+
+/// How dispatched instructions are distributed across the partitioned
+/// schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteeringPolicy {
+    /// Groups of two consecutive instructions, round-robin across
+    /// schedulers — the paper's configuration (§5.1).
+    RoundRobinPairs,
+    /// Steer each instruction to the scheduler of its most recent in-flight
+    /// producer when that scheduler has a free entry (falling back to
+    /// round-robin). This is the paper's §4.2 future-work direction:
+    /// keeping consumers next to producers makes limited bypass networks
+    /// and clustered forwarding cheaper.
+    DependenceAware,
+}
+
+/// Whether ALU results are recomputed through the redundant binary
+/// datapath and checked against the architectural oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatapathMode {
+    /// Values come from the architectural emulator only (fast).
+    Fast,
+    /// Redundant-capable operations are additionally computed with
+    /// `redbin-arith` (redundant adders, digit shifts, SAM decoders) and
+    /// asserted equal to the oracle — a whole-program hardware-algorithm
+    /// check.
+    Faithful,
+}
+
+/// The full machine configuration (Table 2 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Which §5.1 core model.
+    pub model: CoreModel,
+    /// Number of functional units: 4 or 8.
+    pub width: usize,
+    /// Fetch/decode/rename/retire width.
+    pub front_width: usize,
+    /// Total reservation-station entries, split evenly across schedulers.
+    pub window: usize,
+    /// Schedulers (each select-2 feeding 2 FUs): width / 2.
+    pub schedulers: usize,
+    /// Clusters: the 8-wide machine is split into two.
+    pub clusters: usize,
+    /// Extra forwarding delay between clusters (cycles).
+    pub cluster_delay: u64,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Which bypass levels exist (Figure 14 removes some).
+    pub bypass: BypassLevels,
+    /// Fetch-to-dispatch depth: 6 fetch/decode + 2 rename.
+    pub front_latency: u64,
+    /// Select-to-execute depth: 1 schedule + 2 register file read.
+    pub sched_to_exec: u64,
+    /// Basic blocks fetchable per cycle.
+    pub fetch_blocks: usize,
+    /// Fetch/decode queue capacity.
+    pub fetch_queue: usize,
+    /// Redundant→TC format conversion latency (CV1+CV2).
+    pub conversion_latency: u64,
+    /// L1 instruction cache: (bytes, ways, line bytes, access cycles).
+    pub icache: (usize, usize, usize, u64),
+    /// L1 data cache: (bytes, ways, line bytes, access cycles).
+    pub dcache: (usize, usize, usize, u64),
+    /// Unified L2: (bytes, ways, line bytes, access cycles, banks, busy cycles per access).
+    pub l2: (usize, usize, usize, u64, usize, u64),
+    /// Memory: (access cycles, banks, busy cycles per access).
+    pub memory: (u64, usize, u64),
+    /// Scheduler steering policy.
+    pub steering: SteeringPolicy,
+    /// Datapath fidelity checking.
+    pub datapath: DatapathMode,
+    /// Safety valve: abort if a run exceeds this many cycles (0 = off).
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// A Table 2 machine of the given width (4 or 8 functional units) and
+    /// core model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is 4 or 8.
+    pub fn new(model: CoreModel, width: usize) -> Self {
+        assert!(width == 4 || width == 8, "the paper studies 4- and 8-wide");
+        let clusters = if width == 8 { 2 } else { 1 };
+        MachineConfig {
+            model,
+            width,
+            front_width: 8,
+            window: 128,
+            schedulers: width / 2,
+            clusters,
+            cluster_delay: 1,
+            rob: 256,
+            bypass: BypassLevels::FULL,
+            front_latency: 8,
+            sched_to_exec: 3,
+            fetch_blocks: 2,
+            fetch_queue: 96,
+            conversion_latency: 2,
+            icache: (64 * 1024, 4, 64, 2),
+            dcache: (8 * 1024, 2, 64, 2),
+            l2: (1024 * 1024, 8, 64, 8, 2, 2),
+            memory: (100, 32, 4),
+            steering: SteeringPolicy::RoundRobinPairs,
+            datapath: DatapathMode::Fast,
+            max_cycles: 0,
+        }
+    }
+
+    /// The Baseline machine (2-cycle pipelined TC adders).
+    pub fn baseline(width: usize) -> Self {
+        Self::new(CoreModel::Baseline, width)
+    }
+
+    /// The RB machine with TC register files and the §4.2 limited bypass.
+    pub fn rb_limited(width: usize) -> Self {
+        Self::new(CoreModel::RbLimited, width)
+    }
+
+    /// The RB machine with TC and RB register files.
+    pub fn rb_full(width: usize) -> Self {
+        Self::new(CoreModel::RbFull, width)
+    }
+
+    /// The Ideal machine (1-cycle TC adders).
+    pub fn ideal(width: usize) -> Self {
+        Self::new(CoreModel::Ideal, width)
+    }
+
+    /// Builder: replace the bypass-level configuration (Figure 14).
+    #[must_use]
+    pub fn with_bypass(mut self, bypass: BypassLevels) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// Builder: enable faithful redundant-datapath checking.
+    #[must_use]
+    pub fn with_datapath(mut self, mode: DatapathMode) -> Self {
+        self.datapath = mode;
+        self
+    }
+
+    /// Builder: replace the steering policy (§4.2 future work).
+    #[must_use]
+    pub fn with_steering(mut self, steering: SteeringPolicy) -> Self {
+        self.steering = steering;
+        self
+    }
+
+    /// Reservation-station entries per scheduler.
+    pub fn entries_per_scheduler(&self) -> usize {
+        self.window / self.schedulers
+    }
+
+    /// The cluster a scheduler belongs to.
+    pub fn cluster_of(&self, scheduler: usize) -> usize {
+        scheduler * self.clusters / self.schedulers
+    }
+
+    /// The Table 3 *execution* latency of an opcode on this machine —
+    /// cycles from the first EXE stage to the primary (earliest-format)
+    /// result. Loads return the address-generation latency only; the cache
+    /// pipeline is added by the memory system.
+    pub fn exec_latency(&self, op: Opcode) -> u64 {
+        let class = latency_class(op);
+        let fast = !matches!(self.model, CoreModel::Baseline);
+        match class {
+            LatencyClass::IntArith | LatencyClass::IntCompare | LatencyClass::ByteManip => {
+                if fast {
+                    1
+                } else {
+                    2
+                }
+            }
+            LatencyClass::IntLogical => 1,
+            LatencyClass::ShiftLeft | LatencyClass::ShiftRight => 3,
+            LatencyClass::IntMul => 10,
+            LatencyClass::FpArith => 8,
+            LatencyClass::FpDiv => 32,
+            LatencyClass::Mem => 1,
+            LatencyClass::Branch => 1,
+        }
+    }
+
+    /// `true` if the opcode's register result is produced in redundant
+    /// binary *timing* on this machine: the value exists `conversion_latency`
+    /// cycles before its 2's-complement form does.
+    ///
+    /// Follows Table 3: on the RB machines, integer arithmetic, compares,
+    /// conditional moves, byte manipulation and left shifts are listed as
+    /// `L (L+2)`; multiplies, right shifts, logicals and loads produce TC
+    /// directly.
+    pub fn result_is_rb(&self, op: Opcode) -> bool {
+        if !self.model.is_rb() || !op.writes_dest() {
+            return false;
+        }
+        match latency_class(op) {
+            LatencyClass::IntArith
+            | LatencyClass::IntCompare
+            | LatencyClass::ByteManip
+            | LatencyClass::ShiftLeft => true,
+            LatencyClass::IntMul => false, // converter folded into the pipeline (Table 3: "10")
+            _ => false,
+        }
+    }
+
+    /// The *format category* of a result for the Figure 13 bypass-case
+    /// accounting: redundant producers are the Table 1 RB-output rows.
+    pub fn format_category_is_rb(&self, op: Opcode) -> bool {
+        self.model.is_rb() && output_format(op) == Some(ValueFormat::Rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_partitions_match_the_paper() {
+        let m8 = MachineConfig::ideal(8);
+        assert_eq!(m8.schedulers, 4);
+        assert_eq!(m8.entries_per_scheduler(), 32);
+        assert_eq!(m8.clusters, 2);
+        assert_eq!(m8.cluster_of(0), 0);
+        assert_eq!(m8.cluster_of(1), 0);
+        assert_eq!(m8.cluster_of(2), 1);
+        assert_eq!(m8.cluster_of(3), 1);
+        let m4 = MachineConfig::ideal(4);
+        assert_eq!(m4.schedulers, 2);
+        assert_eq!(m4.entries_per_scheduler(), 64);
+        assert_eq!(m4.clusters, 1);
+        assert_eq!(m4.cluster_of(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4- and 8-wide")]
+    fn rejects_odd_widths() {
+        let _ = MachineConfig::ideal(6);
+    }
+
+    #[test]
+    fn table3_latencies() {
+        let base = MachineConfig::baseline(8);
+        let rb = MachineConfig::rb_full(8);
+        let ideal = MachineConfig::ideal(8);
+        assert_eq!(base.exec_latency(Opcode::Addq), 2);
+        assert_eq!(rb.exec_latency(Opcode::Addq), 1);
+        assert_eq!(ideal.exec_latency(Opcode::Addq), 1);
+        for m in [&base, &rb, &ideal] {
+            assert_eq!(m.exec_latency(Opcode::And), 1);
+            assert_eq!(m.exec_latency(Opcode::Sll), 3);
+            assert_eq!(m.exec_latency(Opcode::Srl), 3);
+            assert_eq!(m.exec_latency(Opcode::Mulq), 10);
+            assert_eq!(m.exec_latency(Opcode::Fadd), 8);
+            assert_eq!(m.exec_latency(Opcode::Fdiv), 32);
+            assert_eq!(m.exec_latency(Opcode::Ldq), 1);
+        }
+        assert_eq!(base.exec_latency(Opcode::Cmplt), 2);
+        assert_eq!(rb.exec_latency(Opcode::Cmplt), 1);
+    }
+
+    #[test]
+    fn rb_results_only_on_rb_machines() {
+        let rb = MachineConfig::rb_limited(4);
+        let ideal = MachineConfig::ideal(4);
+        assert!(rb.result_is_rb(Opcode::Addq));
+        assert!(rb.result_is_rb(Opcode::Sll));
+        assert!(rb.result_is_rb(Opcode::Cmplt));
+        assert!(!rb.result_is_rb(Opcode::And));
+        assert!(!rb.result_is_rb(Opcode::Ldq));
+        assert!(!rb.result_is_rb(Opcode::Mulq));
+        assert!(!rb.result_is_rb(Opcode::Srl));
+        assert!(!ideal.result_is_rb(Opcode::Addq));
+    }
+
+    #[test]
+    fn bypass_labels() {
+        assert_eq!(BypassLevels::FULL.label(), "Full");
+        assert_eq!(BypassLevels::without(&[1]).label(), "No-1");
+        assert_eq!(BypassLevels::without(&[1, 2]).label(), "No-1,2");
+        assert_eq!(BypassLevels::without(&[2, 3]).label(), "No-2,3");
+        assert!(BypassLevels::without(&[2]).has(1));
+        assert!(!BypassLevels::without(&[2]).has(2));
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(CoreModel::all().len(), 4);
+        assert_eq!(CoreModel::RbLimited.to_string(), "RB-limited");
+        assert!(CoreModel::RbFull.is_rb());
+        assert!(!CoreModel::Ideal.is_rb());
+    }
+}

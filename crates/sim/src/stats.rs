@@ -1,0 +1,246 @@
+//! Simulation statistics, including the Figure 13 bypass-case accounting.
+
+use redbin_isa::format::Table1Counts;
+
+/// The four bypass cases of Figure 13: who produced the forwarded value and
+/// what kind of operation consumed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BypassCase {
+    /// 2's complement result → 2's complement operation.
+    TcToTc,
+    /// 2's complement result → redundant-capable operation.
+    TcToRb,
+    /// Redundant result → redundant-capable operation.
+    RbToRb,
+    /// Redundant result → 2's complement operation — the only case needing
+    /// a format conversion.
+    RbToTc,
+}
+
+impl BypassCase {
+    /// Classifies from (producer-is-redundant, consumer-needs-TC).
+    pub fn classify(producer_rb: bool, consumer_needs_tc: bool) -> Self {
+        match (producer_rb, consumer_needs_tc) {
+            (false, true) => BypassCase::TcToTc,
+            (false, false) => BypassCase::TcToRb,
+            (true, false) => BypassCase::RbToRb,
+            (true, true) => BypassCase::RbToTc,
+        }
+    }
+
+    /// All cases in figure order.
+    pub fn all() -> &'static [BypassCase] {
+        &[
+            BypassCase::TcToTc,
+            BypassCase::TcToRb,
+            BypassCase::RbToRb,
+            BypassCase::RbToTc,
+        ]
+    }
+
+    /// The figure's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BypassCase::TcToTc => "TC→TC",
+            BypassCase::TcToRb => "TC→RB",
+            BypassCase::RbToRb => "RB→RB",
+            BypassCase::RbToTc => "RB→TC (conversion)",
+        }
+    }
+}
+
+/// Figure 13 accounting: last-arriving bypassed source operands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BypassCases {
+    counts: [u64; 4],
+    /// Instructions that had at least one bypassed source operand.
+    pub insts_with_bypass: u64,
+    /// Instructions that had at least one register source operand.
+    pub insts_with_sources: u64,
+}
+
+impl BypassCases {
+    /// Records the last-arriving bypassed source of one instruction.
+    pub fn record(&mut self, case: BypassCase) {
+        let idx = BypassCase::all().iter().position(|c| *c == case).expect("case");
+        self.counts[idx] += 1;
+    }
+
+    /// The count for one case.
+    pub fn count(&self, case: BypassCase) -> u64 {
+        let idx = BypassCase::all().iter().position(|c| *c == case).expect("case");
+        self.counts[idx]
+    }
+
+    /// The fraction (0–1) of recorded last-arriving bypasses in this case.
+    pub fn fraction(&self, case: BypassCase) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(case) as f64 / total as f64
+        }
+    }
+
+    /// Total last-arriving bypasses recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired (correct-path) instructions.
+    pub retired: u64,
+    /// Dynamic Table 1 classification of the retired stream.
+    pub table1: Table1Counts,
+    /// Conditional-branch direction lookups and mispredicts.
+    pub branches: u64,
+    /// Control-flow mispredictions that redirected fetch.
+    pub mispredicts: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache (L1D) accesses and misses.
+    pub dcache_accesses: u64,
+    /// Data-cache (L1D) misses.
+    pub dcache_misses: u64,
+    /// L2 hits and misses.
+    pub l2_hits: u64,
+    /// L2 misses (memory accesses).
+    pub l2_misses: u64,
+    /// Store-to-load forwards.
+    pub store_forwards: u64,
+    /// Load issue attempts blocked by disambiguation.
+    pub load_blocks: u64,
+    /// Figure 13 accounting.
+    pub bypass_cases: BypassCases,
+    /// Operands sourced from a bypass level rather than the register file.
+    pub bypassed_operands: u64,
+    /// Operands sourced from the register file.
+    pub regfile_operands: u64,
+    /// Redundant-datapath fidelity assertions that ran (faithful mode).
+    pub fidelity_checks: u64,
+    /// Cycles in which no instruction could be selected anywhere.
+    pub idle_issue_cycles: u64,
+    /// Histogram of instructions fetched per cycle (index = count, 0..=8).
+    pub fetch_hist: [u64; 9],
+    /// Histogram of instructions dispatched per cycle.
+    pub dispatch_hist: [u64; 9],
+    /// Histogram of instructions issued per cycle.
+    pub issue_hist: [u64; 9],
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction ratio (all control redirects over
+    /// all control instructions seen by the predictor).
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L1D miss ratio.
+    pub fn dcache_miss_ratio(&self) -> f64 {
+        if self.dcache_accesses == 0 {
+            0.0
+        } else {
+            self.dcache_misses as f64 / self.dcache_accesses as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions with at least one bypassed source.
+    pub fn bypassed_inst_fraction(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.bypass_cases.insts_with_bypass as f64 / self.retired as f64
+        }
+    }
+}
+
+/// The harmonic mean of a set of IPCs — the paper's Figure 14 aggregate.
+///
+/// Returns 0 for an empty slice; ignores non-positive entries (which would
+/// otherwise poison the mean).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    positive.len() as f64 / positive.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matches_figure() {
+        assert_eq!(BypassCase::classify(false, true), BypassCase::TcToTc);
+        assert_eq!(BypassCase::classify(false, false), BypassCase::TcToRb);
+        assert_eq!(BypassCase::classify(true, false), BypassCase::RbToRb);
+        assert_eq!(BypassCase::classify(true, true), BypassCase::RbToTc);
+    }
+
+    #[test]
+    fn case_fractions() {
+        let mut c = BypassCases::default();
+        c.record(BypassCase::TcToTc);
+        c.record(BypassCase::TcToTc);
+        c.record(BypassCase::RbToTc);
+        c.record(BypassCase::RbToRb);
+        assert_eq!(c.total(), 4);
+        assert!((c.fraction(BypassCase::TcToTc) - 0.5).abs() < 1e-12);
+        assert!((c.fraction(BypassCase::RbToTc) - 0.25).abs() < 1e-12);
+        assert_eq!(c.count(BypassCase::TcToRb), 0);
+    }
+
+    #[test]
+    fn ipc_and_ratios() {
+        let s = SimStats {
+            cycles: 100,
+            retired: 250,
+            branches: 50,
+            mispredicts: 5,
+            dcache_accesses: 80,
+            dcache_misses: 8,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.dcache_miss_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        let hm = harmonic_mean(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        // Harmonic ≤ arithmetic.
+        assert!(hm < 1.5);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_ratio(), 0.0);
+        assert_eq!(s.dcache_miss_ratio(), 0.0);
+        assert_eq!(s.bypassed_inst_fraction(), 0.0);
+    }
+}

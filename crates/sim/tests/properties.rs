@@ -1,0 +1,183 @@
+//! Property-based tests for the simulator's substrates: caches, banks,
+//! the store queue, and the bypass-availability model.
+
+use proptest::prelude::*;
+use redbin_sim::bypass::{BypassModel, ResultTiming};
+use redbin_sim::cache::{Banks, Cache, Lookup, MemoryHierarchy};
+use redbin_sim::config::{BypassLevels, CoreModel, MachineConfig};
+use redbin_sim::lsq::{LoadDecision, StoreQueue};
+
+fn any_machine() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop::sample::select(vec![
+            CoreModel::Baseline,
+            CoreModel::RbLimited,
+            CoreModel::RbFull,
+            CoreModel::Ideal,
+        ]),
+        prop::sample::select(vec![4usize, 8]),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(model, width, l1, l2, l3)| {
+            MachineConfig::new(model, width).with_bypass(BypassLevels {
+                l1: l1 || (!l2 && !l3), // keep at least one level
+                l2,
+                l3,
+            })
+        })
+}
+
+fn timing_for(model: CoreModel, ready: u64, rb: bool) -> ResultTiming {
+    let rb = rb && model.is_rb();
+    ResultTiming {
+        ready,
+        rb,
+        tc_ready: if rb { ready + 2 } else { ready },
+        cluster: 0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn availability_is_continuous_from_rf_start(
+        cfg in any_machine(),
+        ready in 5u64..1000,
+        rb in prop::bool::ANY,
+        need_tc in prop::bool::ANY,
+        probe in 0u64..40,
+    ) {
+        let m = BypassModel::new(&cfg);
+        let r = timing_for(cfg.model, ready, rb);
+        let rf = m.rf_start(&r, need_tc, 0);
+        prop_assert!(m.available(&r, need_tc, 0, rf + probe),
+            "must be available at rf_start {rf} + {probe}");
+        // Nothing is available at or before production.
+        prop_assert!(!m.available(&r, need_tc, 0, ready));
+    }
+
+    #[test]
+    fn earliest_is_the_first_available_cycle(
+        cfg in any_machine(),
+        ready in 5u64..1000,
+        rb in prop::bool::ANY,
+        need_tc in prop::bool::ANY,
+        from in 0u64..1020,
+    ) {
+        let m = BypassModel::new(&cfg);
+        let r = timing_for(cfg.model, ready, rb);
+        let e = m.earliest(&r, need_tc, 0, from);
+        prop_assert!(e >= from);
+        prop_assert!(m.available(&r, need_tc, 0, e));
+        for c in from..e {
+            prop_assert!(!m.available(&r, need_tc, 0, c),
+                "cycle {c} available but earliest said {e}");
+        }
+    }
+
+    #[test]
+    fn cross_cluster_never_arrives_earlier(
+        ready in 5u64..1000,
+        rb in prop::bool::ANY,
+        need_tc in prop::bool::ANY,
+        from in 0u64..1020,
+    ) {
+        let cfg = MachineConfig::rb_full(8);
+        let m = BypassModel::new(&cfg);
+        let r = timing_for(cfg.model, ready, rb);
+        let local = m.earliest(&r, need_tc, 0, from);
+        let remote = m.earliest(&r, need_tc, 1, from);
+        prop_assert!(remote >= local);
+        prop_assert!(remote <= local + cfg.cluster_delay + 4,
+            "remote {remote} unreasonably far past local {local}");
+    }
+
+    #[test]
+    fn fewer_bypass_levels_never_help(
+        ready in 5u64..1000,
+        need_tc in prop::bool::ANY,
+        from in 0u64..1020,
+    ) {
+        let full = BypassModel::new(&MachineConfig::ideal(4));
+        let cut = BypassModel::new(
+            &MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2])),
+        );
+        let r = timing_for(CoreModel::Ideal, ready, false);
+        prop_assert!(cut.earliest(&r, need_tc, 0, from) >= full.earliest(&r, need_tc, 0, from));
+    }
+
+    #[test]
+    fn cache_hits_after_fill_and_respects_capacity(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..200),
+    ) {
+        let mut c = Cache::new(8 * 1024, 2, 64);
+        for &a in &addrs {
+            match c.access(a) {
+                Lookup::Miss => c.set_fill(a, 0),
+                Lookup::Hit { .. } => {}
+            }
+            // Immediately re-accessing the same line must hit (MRU).
+            let hit = matches!(c.access(a), Lookup::Hit { .. });
+            prop_assert!(hit, "MRU line must hit");
+        }
+        prop_assert!(c.misses() <= c.accesses());
+    }
+
+    #[test]
+    fn banks_start_times_are_feasible(
+        reqs in prop::collection::vec((0u64..(1 << 16), 0u64..500), 1..100),
+    ) {
+        let mut b = Banks::new(4, 3, 6);
+        // Issue in nondecreasing time order, as the pipeline does.
+        let mut reqs = reqs;
+        reqs.sort_by_key(|r| r.1);
+        for (addr, cycle) in reqs {
+            let start = b.schedule(addr, cycle);
+            prop_assert!(start >= cycle, "bank served before the request");
+        }
+    }
+
+    #[test]
+    fn store_queue_forwarding_is_sound(
+        store_addr in 0u64..256,
+        load_off in 0u64..16,
+        data_time in 1u64..100,
+        exec in 1u64..200,
+    ) {
+        let mut q = StoreQueue::new();
+        q.dispatch(1);
+        q.set_address(1, store_addr, 8, 1);
+        q.set_data_time(1, data_time);
+        let load_addr = store_addr + load_off;
+        match q.check_load(5, load_addr, 8, exec) {
+            LoadDecision::Forward(t) => {
+                // Only fully covered loads forward, and never before the
+                // data exists or the load executes.
+                prop_assert!(load_off == 0, "partial overlap must not forward");
+                prop_assert!(t > exec.max(data_time) - 1);
+            }
+            LoadDecision::Blocked => {
+                prop_assert!(load_off > 0 && load_off < 8,
+                    "blocked requires a partial overlap here");
+            }
+            LoadDecision::Cache => {
+                prop_assert!(load_off >= 8, "disjoint loads go to the cache");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_latencies_are_ordered(addr in 0u64..(1 << 24)) {
+        let mut h = MemoryHierarchy::new(
+            (64 * 1024, 4, 64, 2),
+            (8 * 1024, 2, 64, 2),
+            (1024 * 1024, 8, 64, 8, 2, 2),
+            (100, 32, 4),
+        );
+        let (cold, _) = h.access_data(addr, 0);
+        let (warm, _) = h.access_data(addr, cold + 10);
+        prop_assert!(cold >= 102, "cold access goes to memory: {cold}");
+        prop_assert_eq!(warm, cold + 10 + 2, "warm access is an L1 hit");
+    }
+}

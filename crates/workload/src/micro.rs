@@ -1,0 +1,206 @@
+//! Synthetic microbenchmarks: pure dependence patterns for validating and
+//! explaining machine behaviour.
+//!
+//! Where the proxy kernels imitate whole programs, these kernels isolate a
+//! single property — a serial add chain, width-bound independent
+//! operations, a pointer chase, conversion-heavy mixes — so machine
+//! differences can be predicted analytically and asserted exactly. The
+//! simulator's own validation tests and the documentation examples build
+//! on them.
+
+use redbin_isa::{Inst, Opcode, Operand, Program, Reg};
+
+use crate::asm::Asm;
+use crate::kernels::permutation_cycle;
+
+/// Builds a loop whose body is `body` instructions from `f(i)`, iterated
+/// `iters` times (keeping the instruction cache warm, like real code).
+///
+/// Register conventions: `r20` is the loop counter; the body may use
+/// `r1`–`r19` freely.
+pub fn looped(body: usize, iters: i64, f: impl Fn(usize) -> Inst) -> Program {
+    let mut code = vec![Inst::op(Opcode::Addq, Reg::R31, Operand::Imm(iters), Reg(20))];
+    for i in 0..body {
+        code.push(f(i));
+    }
+    code.push(Inst::op(Opcode::Subq, Reg(20), Operand::Imm(1), Reg(20)));
+    code.push(Inst::branch(Opcode::Bne, Reg(20), -(body as i64 + 2)));
+    code.push(Inst::halt());
+    Program::new(code).with_name("micro")
+}
+
+/// A serial dependence chain of adds: IPC ≈ 1 / add-latency. The purest
+/// demonstration of the paper's Figure 1 latency argument.
+pub fn serial_adds(n: i64) -> Program {
+    looped(32, n / 32, |_| {
+        Inst::op(Opcode::Addq, Reg(1), Operand::Imm(1), Reg(1))
+    })
+    .with_name("serial_adds")
+}
+
+/// Fully independent adds: IPC ≈ machine width, insensitive to add
+/// latency (the paper's "throughput-intensive" regime).
+pub fn independent_adds(n: i64) -> Program {
+    looped(32, n / 32, |i| {
+        Inst::op(
+            Opcode::Addq,
+            Reg::R31,
+            Operand::Imm(i as i64),
+            Reg(1 + (i % 16) as u8),
+        )
+    })
+    .with_name("independent_adds")
+}
+
+/// `k` interleaved serial chains: IPC ≈ min(width, k / add-latency).
+///
+/// # Panics
+///
+/// Panics unless `1 <= k <= 8`.
+pub fn interleaved_chains(k: usize, n: i64) -> Program {
+    assert!((1..=8).contains(&k), "1..=8 chains supported");
+    looped(32, n / 32, move |i| {
+        let r = Reg(1 + (i % k) as u8);
+        Inst::op(Opcode::Addq, r, Operand::Imm(1), r)
+    })
+    .with_name("interleaved_chains")
+}
+
+/// An add→logical alternation: every other result crosses the RB→TC
+/// boundary, maximizing the conversion penalty on redundant machines.
+pub fn conversion_ping_pong(n: i64) -> Program {
+    looped(32, n / 32, |i| {
+        if i % 2 == 0 {
+            Inst::op(Opcode::Addq, Reg(1), Operand::Imm(1), Reg(1))
+        } else {
+            Inst::op(Opcode::Xor, Reg(1), Operand::Imm(3), Reg(1))
+        }
+    })
+    .with_name("conversion_ping_pong")
+}
+
+/// A pointer chase over a `cells`-entry permutation cycle (16 bytes per
+/// cell): IPC is set by load-to-use latency and the cache level the
+/// working set lands in.
+///
+/// # Panics
+///
+/// Panics unless `cells` is a power of two of at least 8.
+pub fn pointer_chase(cells: usize, hops: i64) -> Program {
+    assert!(cells.is_power_of_two() && cells >= 8);
+    const BASE: u64 = 0x100_0000;
+    let next = permutation_cycle(cells, 0xC0DE);
+    let mut a = Asm::new("pointer_chase");
+    let mut image = Vec::with_capacity(cells * 16);
+    for nx in &next {
+        image.extend_from_slice(&(BASE + nx * 16).to_le_bytes());
+        image.extend_from_slice(&0u64.to_le_bytes());
+    }
+    a.data_bytes(BASE, image);
+    a.init_reg(Reg(1), BASE);
+    a.li(Reg(2), hops.max(1));
+    a.label("hop");
+    a.ldq(Reg(1), Reg(1), 0);
+    a.subq_imm(Reg(2), 1, Reg(2));
+    a.bne(Reg(2), "hop");
+    a.halt();
+    a.assemble()
+}
+
+/// Store→load forwarding stress: every load reads a just-stored location.
+pub fn store_forwarding(n: i64) -> Program {
+    const BASE: u64 = 0x20_0000;
+    let mut a = Asm::new("store_forwarding");
+    a.init_reg(Reg(1), BASE);
+    a.li(Reg(2), n.max(1));
+    a.li(Reg(3), 7);
+    a.label("loop");
+    a.addq_imm(Reg(3), 13, Reg(3));
+    a.stq(Reg(3), Reg(1), 0);
+    a.ldq(Reg(4), Reg(1), 0);
+    a.addq(Reg(4), Reg(3), Reg(3));
+    a.subq_imm(Reg(2), 1, Reg(2));
+    a.bne(Reg(2), "loop");
+    a.halt();
+    a.assemble()
+}
+
+/// Branch-mispredict stress: a data-dependent 50/50 branch per iteration
+/// (a feedback-shift register decides, so no predictor can learn it).
+pub fn mispredict_storm(n: i64) -> Program {
+    let mut a = Asm::new("mispredict_storm");
+    a.li(Reg(1), 0xACE1);
+    a.li(Reg(2), n.max(1));
+    a.li(Reg(3), 0);
+    a.label("loop");
+    // Galois LFSR step: unpredictable low bit.
+    a.op(Opcode::Srl, Reg(1), 1, Reg(4));
+    a.op(Opcode::And, Reg(1), 1, Reg(5));
+    a.op(Opcode::Mulq, Reg(5), 0xB400, Reg(5));
+    a.op(Opcode::Xor, Reg(4), Reg(5), Reg(1));
+    a.blbc(Reg(1), "skip");
+    a.addq_imm(Reg(3), 1, Reg(3));
+    a.label("skip");
+    a.subq_imm(Reg(2), 1, Reg(2));
+    a.bne(Reg(2), "loop");
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redbin_isa::Emulator;
+
+    fn run(p: &Program) -> Emulator {
+        let mut e = Emulator::new(p);
+        e.run(10_000_000).expect("halts");
+        e
+    }
+
+    #[test]
+    fn serial_adds_count_correctly() {
+        let e = run(&serial_adds(320));
+        assert_eq!(e.reg(Reg(1)), 320);
+    }
+
+    #[test]
+    fn interleaved_chains_split_the_count() {
+        let e = run(&interleaved_chains(4, 320));
+        for r in 1..=4u8 {
+            assert_eq!(e.reg(Reg(r)), 80, "r{r}");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_returns_to_start() {
+        let cells = 64;
+        let p = pointer_chase(cells, cells as i64);
+        let e = run(&p);
+        assert_eq!(e.reg(Reg(1)), 0x100_0000, "one full lap lands home");
+    }
+
+    #[test]
+    fn store_forwarding_is_consistent() {
+        let e = run(&store_forwarding(100));
+        // r3 follows a deterministic recurrence; the load must observe the
+        // store each iteration, so r4 == r3's pre-add value at the end.
+        assert_eq!(e.reg(Reg(4)).wrapping_add(e.reg(Reg(4))), e.reg(Reg(3)));
+    }
+
+    #[test]
+    fn mispredict_storm_is_roughly_balanced() {
+        let e = run(&mispredict_storm(1000));
+        let taken = e.reg(Reg(3));
+        assert!(
+            (300..=700).contains(&taken),
+            "LFSR branch should be near 50/50, got {taken}/1000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chains supported")]
+    fn interleave_bounds() {
+        let _ = interleaved_chains(9, 32);
+    }
+}

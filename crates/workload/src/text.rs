@@ -1,0 +1,415 @@
+//! A text-format assembler: parse human-written assembly into programs.
+//!
+//! The syntax mirrors the disassembly the simulator prints, plus labels
+//! and data directives:
+//!
+//! ```text
+//! ; sum the numbers 1..=10
+//!         .reg r1, 10          ; initial register value
+//! loop:   addq r2, r1, r2
+//!         subq r1, #1, r1
+//!         bne r1, loop
+//!         halt
+//! ```
+//!
+//! Directives: `.reg rN, value` (initial register), `.u64 addr, v0, v1…`
+//! (data words), `.bytes addr, b0, b1…`. Comments start with `;` or `#`
+//! at a token boundary (`#5` is an immediate). Labels end with `:` and may
+//! share a line with an instruction.
+
+use std::collections::HashMap;
+
+use redbin_isa::{Inst, Opcode, Operand, Program, Reg};
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let body = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected a register, got `{tok}`")))?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register r{n} out of range")));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if let Some(imm) = tok.strip_prefix('#') {
+        Ok(Operand::Imm(parse_int(imm, line)?))
+    } else {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    }
+}
+
+/// `disp(base)` → (base, disp).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `disp(base)`, got `{tok}`")))?;
+    if !tok.ends_with(')') {
+        return Err(err(line, format!("unterminated `{tok}`")));
+    }
+    let disp = if open == 0 { 0 } else { parse_int(&tok[..open], line)? };
+    let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((base, disp))
+}
+
+fn opcode_by_name(name: &str) -> Option<Opcode> {
+    Opcode::all().iter().copied().find(|o| o.mnemonic() == name)
+}
+
+enum Pending {
+    Done(Inst),
+    Branch {
+        op: Opcode,
+        ra: Reg,
+        rc: Reg,
+        label: String,
+        line: usize,
+    },
+}
+
+/// Parses a text program.
+///
+/// # Errors
+///
+/// Reports the first syntax error, undefined label, or malformed directive
+/// with its line number.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let mut insts: Vec<Pending> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut prog_data: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut init_regs: Vec<(u8, u64)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments (`;` anywhere, `#` only at a token start that is
+        // not an immediate — we keep it simple: `;` only, plus leading `#`).
+        let mut text = raw;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        if text.starts_with('#') {
+            continue;
+        }
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) || name.contains('(') {
+                break;
+            }
+            if labels.insert(name.to_string(), insts.len()).is_some() {
+                return Err(err(line, format!("label `{name}` defined twice")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let mut parts = text.split_whitespace();
+        let head = parts.next().expect("nonempty");
+        let rest: Vec<String> = parts
+            .collect::<Vec<_>>()
+            .join(" ")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+
+        match head {
+            ".reg" => {
+                if rest.len() != 2 {
+                    return Err(err(line, ".reg takes `rN, value`"));
+                }
+                let r = parse_reg(&rest[0], line)?;
+                let v = parse_int(&rest[1], line)?;
+                init_regs.push((r.0, v as u64));
+            }
+            ".u64" => {
+                if rest.len() < 2 {
+                    return Err(err(line, ".u64 takes `addr, v0, v1…`"));
+                }
+                let addr = parse_int(&rest[0], line)? as u64;
+                let mut bytes = Vec::new();
+                for v in &rest[1..] {
+                    bytes.extend_from_slice(&(parse_int(v, line)? as u64).to_le_bytes());
+                }
+                prog_data.push((addr, bytes));
+            }
+            ".bytes" => {
+                if rest.len() < 2 {
+                    return Err(err(line, ".bytes takes `addr, b0, b1…`"));
+                }
+                let addr = parse_int(&rest[0], line)? as u64;
+                let bytes = rest[1..]
+                    .iter()
+                    .map(|b| parse_int(b, line).map(|v| v as u8))
+                    .collect::<Result<Vec<u8>, _>>()?;
+                prog_data.push((addr, bytes));
+            }
+            mnemonic => {
+                let op = opcode_by_name(mnemonic)
+                    .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+                insts.push(parse_inst(op, &rest, line)?);
+            }
+        }
+    }
+
+    let code = insts
+        .into_iter()
+        .enumerate()
+        .map(|(site, p)| match p {
+            Pending::Done(i) => Ok(i),
+            Pending::Branch {
+                op,
+                ra,
+                rc,
+                label,
+                line,
+            } => {
+                let target = *labels
+                    .get(&label)
+                    .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
+                let disp = target as i64 - (site as i64 + 1);
+                Ok(match op {
+                    Opcode::Br => Inst::br(disp),
+                    Opcode::Bsr => Inst::bsr(disp, rc),
+                    _ => Inst::branch(op, ra, disp),
+                })
+            }
+        })
+        .collect::<Result<Vec<Inst>, ParseError>>()?;
+
+    let mut program = Program::new(code);
+    for (addr, bytes) in prog_data {
+        program = program.with_data(addr, bytes);
+    }
+    for (r, v) in init_regs {
+        program = program.with_reg(r, v);
+    }
+    Ok(program)
+}
+
+fn parse_inst(op: Opcode, args: &[String], line: usize) -> Result<Pending, ParseError> {
+    use Opcode::*;
+    let need = |n: usize| {
+        if args.len() != n {
+            Err(err(line, format!("{op} takes {n} operand(s), got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match op {
+        Halt => {
+            need(0)?;
+            Pending::Done(Inst::halt())
+        }
+        Ret | Jmp => {
+            need(1)?;
+            let target = args[0].trim_start_matches('(').trim_end_matches(')');
+            let ra = parse_reg(target, line)?;
+            Pending::Done(if op == Ret {
+                Inst::ret(ra)
+            } else {
+                Inst {
+                    op,
+                    ra,
+                    rb: Operand::Imm(0),
+                    rc: Reg::RA,
+                    disp: 0,
+                }
+            })
+        }
+        Br => {
+            need(1)?;
+            Pending::Branch {
+                op,
+                ra: Reg::R31,
+                rc: Reg::R31,
+                label: args[0].clone(),
+                line,
+            }
+        }
+        Bsr => {
+            // `bsr label` (links r26) or `bsr rN, label`.
+            match args.len() {
+                1 => Pending::Branch {
+                    op,
+                    ra: Reg::R31,
+                    rc: Reg::RA,
+                    label: args[0].clone(),
+                    line,
+                },
+                2 => Pending::Branch {
+                    op,
+                    ra: Reg::R31,
+                    rc: parse_reg(&args[0], line)?,
+                    label: args[1].clone(),
+                    line,
+                },
+                n => return Err(err(line, format!("bsr takes 1 or 2 operands, got {n}"))),
+            }
+        }
+        Beq | Bne | Blt | Bge | Ble | Bgt | Blbs | Blbc => {
+            need(2)?;
+            Pending::Branch {
+                op,
+                ra: parse_reg(&args[0], line)?,
+                rc: Reg::R31,
+                label: args[1].clone(),
+                line,
+            }
+        }
+        Lda | Ldah => {
+            need(2)?;
+            let rc = parse_reg(&args[0], line)?;
+            let (base, disp) = parse_mem_operand(&args[1], line)?;
+            Pending::Done(Inst::lda(op, base, disp, rc))
+        }
+        _ if op.is_mem() => {
+            need(2)?;
+            let rc = parse_reg(&args[0], line)?;
+            let (base, disp) = parse_mem_operand(&args[1], line)?;
+            Pending::Done(Inst::mem(op, rc, base, disp))
+        }
+        _ => {
+            need(3)?;
+            let ra = parse_reg(&args[0], line)?;
+            let rb = parse_operand(&args[1], line)?;
+            let rc = parse_reg(&args[2], line)?;
+            Pending::Done(Inst::op(op, ra, rb, rc))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redbin_isa::Emulator;
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let src = r#"
+            ; sum 1..=10
+                    .reg r1, 10
+            loop:   addq r2, r1, r2
+                    subq r1, #1, r1
+                    bne r1, loop
+                    halt
+        "#;
+        let p = parse(src).expect("parses");
+        let mut e = Emulator::new(&p);
+        e.run(1000).expect("halts");
+        assert_eq!(e.reg(Reg(2)), 55);
+    }
+
+    #[test]
+    fn memory_and_data_directives() {
+        let src = r#"
+            .u64 0x1000, 7, 8, 9
+            .reg r1, 0x1000
+            ldq r2, 16(r1)
+            stq r2, (r1)
+            ldq r3, (r1)
+            halt
+        "#;
+        let p = parse(src).expect("parses");
+        let mut e = Emulator::new(&p);
+        e.run(100).expect("halts");
+        assert_eq!(e.reg(Reg(3)), 9);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let src = r#"
+                bsr f
+                halt
+            f:  addq r1, #42, r1
+                ret r26
+        "#;
+        let p = parse(src).expect("parses");
+        let mut e = Emulator::new(&p);
+        e.run(100).expect("halts");
+        assert_eq!(e.reg(Reg(1)), 42);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("addq r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("\nfoo r1, r2, r3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown mnemonic"));
+        let e = parse("bne r1, nowhere\nhalt\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        let e = parse("x: halt\nx: halt\n").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let src = "addq r31, #-5, r1\nand r1, #0xff, r2\nhalt\n";
+        let p = parse(src).expect("parses");
+        let mut e = Emulator::new(&p);
+        e.run(10).expect("halts");
+        assert_eq!(e.reg(Reg(1)) as i64, -5);
+        assert_eq!(e.reg(Reg(2)), 0xfb);
+    }
+
+    #[test]
+    fn display_output_reparses_for_operates() {
+        // The disassembly of operate/memory instructions is valid input.
+        let insts = [
+            Inst::op(Opcode::S8addq, Reg(3), Operand::Reg(Reg(4)), Reg(5)),
+            Inst::op(Opcode::Xor, Reg(1), Operand::Imm(7), Reg(2)),
+            Inst::mem(Opcode::Stb, Reg(9), Reg(10), -3),
+        ];
+        for i in insts {
+            let src = format!("{i}\nhalt\n");
+            let p = parse(&src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(p.code[0], i);
+        }
+    }
+}
