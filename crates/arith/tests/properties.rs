@@ -3,182 +3,254 @@
 //! These are the load-bearing invariants of the whole reproduction: if the
 //! redundant datapath ever disagrees with 2's complement, every simulated
 //! "RB machine" result would be suspect.
+//!
+//! Inputs come from `redbin-testkit`'s deterministic generator (the
+//! workspace builds offline, so there is no proptest); a failing case
+//! prints its seed for standalone reproduction.
 
-use proptest::prelude::*;
 use redbin_arith::adder::{normalize, raw_add_serial, RbAdder};
 use redbin_arith::ops;
 use redbin_arith::sam::{ModifiedSamDecoder, SamDecoder};
 use redbin_arith::{RbDigit, RbNumber};
+use redbin_testkit::{cases, Rng};
 
-/// Strategy producing an arbitrary *legal* redundant binary number (possibly
-/// non-normalized: any digit pattern without `<1,1>`).
-fn arb_rb() -> impl Strategy<Value = RbNumber> {
-    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| {
-        // Disjoint planes: wherever both bits are set, make the digit +1.
-        RbNumber::from_planes(a, b & !a).expect("planes made disjoint")
-    })
+const CASES: usize = 2048;
+
+/// An arbitrary *legal* redundant binary number (possibly non-normalized:
+/// any digit pattern without `<1,1>`).
+fn arb_rb(r: &mut Rng) -> RbNumber {
+    let (a, b) = (r.next_u64(), r.next_u64());
+    // Disjoint planes: wherever both bits are set, make the digit +1.
+    RbNumber::from_planes(a, b & !a).expect("planes made disjoint")
 }
 
-/// Strategy producing a normalized redundant number via a chain of adds,
-/// exercising representations a real pipeline would produce.
-fn arb_chained() -> impl Strategy<Value = (RbNumber, i64)> {
-    proptest::collection::vec(any::<i64>(), 1..6).prop_map(|vals| {
-        let adder = RbAdder::new();
-        let mut acc = RbNumber::ZERO;
-        let mut expect = 0i64;
-        for v in vals {
-            acc = adder.add(acc, RbNumber::from_i64(v)).sum;
-            expect = expect.wrapping_add(v);
-        }
-        (acc, expect)
-    })
-}
-
-proptest! {
-    #[test]
-    fn conversion_round_trip(v in any::<i64>()) {
-        prop_assert_eq!(RbNumber::from_i64(v).to_i64(), v);
-        prop_assert_eq!(RbNumber::from_i64(v).value_i128(), v as i128);
+/// A normalized redundant number built via a chain of adds, exercising
+/// representations a real pipeline would produce. Returns the number and
+/// its expected (wrapping) 2's-complement value.
+fn arb_chained(r: &mut Rng) -> (RbNumber, i64) {
+    let adder = RbAdder::new();
+    let mut acc = RbNumber::ZERO;
+    let mut expect = 0i64;
+    for _ in 0..r.range_usize(1, 6) {
+        let v = r.next_i64();
+        acc = adder.add(acc, RbNumber::from_i64(v)).sum;
+        expect = expect.wrapping_add(v);
     }
+    (acc, expect)
+}
 
-    #[test]
-    fn addition_matches_wrapping_tc(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn conversion_round_trip() {
+    cases(CASES, 0x01, |r| {
+        let v = r.next_i64();
+        assert_eq!(RbNumber::from_i64(v).to_i64(), v);
+        assert_eq!(RbNumber::from_i64(v).value_i128(), v as i128);
+    });
+}
+
+#[test]
+fn addition_matches_wrapping_tc() {
+    cases(CASES, 0x02, |r| {
+        let (a, b) = (r.next_i64(), r.next_i64());
         let adder = RbAdder::new();
         let out = adder.add(RbNumber::from_i64(a), RbNumber::from_i64(b));
-        prop_assert_eq!(out.sum.to_i64(), a.wrapping_add(b));
-        prop_assert!(out.sum.is_normalized());
-        prop_assert_eq!(out.tc_overflow, a.checked_add(b).is_none());
-    }
+        assert_eq!(out.sum.to_i64(), a.wrapping_add(b));
+        assert!(out.sum.is_normalized());
+        assert_eq!(out.tc_overflow, a.checked_add(b).is_none());
+    });
+}
 
-    #[test]
-    fn addition_of_arbitrary_patterns_is_congruent(x in arb_rb(), y in arb_rb()) {
+#[test]
+fn addition_of_arbitrary_patterns_is_congruent() {
+    cases(CASES, 0x03, |r| {
+        let (x, y) = (arb_rb(r), arb_rb(r));
         // Even for wild digit patterns, the normalized sum must equal the
         // wrapping sum of the operands' 64-bit patterns, exactly.
         let adder = RbAdder::new();
         let out = adder.add(x, y);
-        prop_assert_eq!(out.sum.to_u64(), x.to_u64().wrapping_add(y.to_u64()));
-        prop_assert!(out.sum.is_normalized());
+        assert_eq!(out.sum.to_u64(), x.to_u64().wrapping_add(y.to_u64()));
+        assert!(out.sum.is_normalized());
         let v = out.sum.value_i128();
-        prop_assert_eq!(v, out.sum.to_i64() as i128);
-    }
+        assert_eq!(v, out.sum.to_i64() as i128);
+    });
+}
 
-    #[test]
-    fn serial_slice_agrees_with_parallel(x in arb_rb(), y in arb_rb()) {
+#[test]
+fn serial_slice_agrees_with_parallel() {
+    cases(CASES, 0x04, |r| {
+        let (x, y) = (arb_rb(r), arb_rb(r));
         let adder = RbAdder::new();
         let par = adder.add(x, y);
         let (raw, _carry) = raw_add_serial(x, y);
         // The serial reference produces the same digits pre-correction, so
         // after the same normalization the outcomes must agree.
-        prop_assert_eq!(normalize(raw).to_u64(), par.sum.to_u64());
-    }
+        assert_eq!(normalize(raw).to_u64(), par.sum.to_u64());
+    });
+}
 
-    #[test]
-    fn subtraction_matches_wrapping_tc(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn subtraction_matches_wrapping_tc() {
+    cases(CASES, 0x05, |r| {
+        let (a, b) = (r.next_i64(), r.next_i64());
         let adder = RbAdder::new();
         let out = adder.sub(RbNumber::from_i64(a), RbNumber::from_i64(b));
-        prop_assert_eq!(out.sum.to_i64(), a.wrapping_sub(b));
-    }
+        assert_eq!(out.sum.to_i64(), a.wrapping_sub(b));
+    });
+}
 
-    #[test]
-    fn chained_results_are_exact((acc, expect) in arb_chained()) {
-        prop_assert_eq!(acc.to_i64(), expect);
-        prop_assert!(acc.is_normalized());
+#[test]
+fn chained_results_are_exact() {
+    cases(CASES, 0x06, |r| {
+        let (acc, expect) = arb_chained(r);
+        assert_eq!(acc.to_i64(), expect);
+        assert!(acc.is_normalized());
         // Sign / zero / LSB tests on the chained representation agree with TC.
         let s = ops::sign(acc);
         match expect.cmp(&0) {
-            std::cmp::Ordering::Less => prop_assert_eq!(s, ops::Sign::Negative),
-            std::cmp::Ordering::Equal => prop_assert_eq!(s, ops::Sign::Zero),
-            std::cmp::Ordering::Greater => prop_assert_eq!(s, ops::Sign::Positive),
+            std::cmp::Ordering::Less => assert_eq!(s, ops::Sign::Negative),
+            std::cmp::Ordering::Equal => assert_eq!(s, ops::Sign::Zero),
+            std::cmp::Ordering::Greater => assert_eq!(s, ops::Sign::Positive),
         }
-        prop_assert_eq!(ops::lsb_set(acc), expect & 1 == 1);
-    }
+        assert_eq!(ops::lsb_set(acc), expect & 1 == 1);
+    });
+}
 
-    #[test]
-    fn shift_left_matches_tc((acc, expect) in arb_chained(), k in 0u32..64) {
+#[test]
+fn shift_left_matches_tc() {
+    cases(CASES, 0x07, |r| {
+        let (acc, expect) = arb_chained(r);
+        let k = r.range_u64(0, 64) as u32;
         let shifted = ops::shl_digits(acc, k);
-        prop_assert_eq!(shifted.to_i64(), expect.wrapping_shl(k));
-        prop_assert!(shifted.is_normalized());
-    }
+        assert_eq!(shifted.to_i64(), expect.wrapping_shl(k));
+        assert!(shifted.is_normalized());
+    });
+}
 
-    #[test]
-    fn scaled_adds_match_tc(a in any::<i64>(), b in any::<i64>(), scale in prop::sample::select(vec![2u32, 3])) {
+#[test]
+fn scaled_adds_match_tc() {
+    cases(CASES, 0x08, |r| {
+        let (a, b) = (r.next_i64(), r.next_i64());
+        let scale = *r.pick(&[2u32, 3]);
         let adder = RbAdder::new();
         let got = ops::scaled_add(&adder, RbNumber::from_i64(a), scale, RbNumber::from_i64(b));
-        prop_assert_eq!(got.to_i64(), a.wrapping_shl(scale).wrapping_add(b));
+        assert_eq!(got.to_i64(), a.wrapping_shl(scale).wrapping_add(b));
         let got = ops::scaled_sub(&adder, RbNumber::from_i64(a), scale, RbNumber::from_i64(b));
-        prop_assert_eq!(got.to_i64(), a.wrapping_shl(scale).wrapping_sub(b));
-    }
+        assert_eq!(got.to_i64(), a.wrapping_shl(scale).wrapping_sub(b));
+    });
+}
 
-    #[test]
-    fn longword_extraction_matches_addl((acc, expect) in arb_chained()) {
+#[test]
+fn longword_extraction_matches_addl() {
+    cases(CASES, 0x09, |r| {
+        let (acc, expect) = arb_chained(r);
         let lw = ops::extract_longword(acc);
-        prop_assert_eq!(lw.to_i64(), (expect as i32) as i64);
-        prop_assert_eq!(lw.value_i128(), ((expect as i32) as i64) as i128);
-    }
+        assert_eq!(lw.to_i64(), (expect as i32) as i64);
+        assert_eq!(lw.value_i128(), ((expect as i32) as i64) as i128);
+    });
+}
 
-    #[test]
-    fn cttz_matches_tc((acc, expect) in arb_chained()) {
-        prop_assert_eq!(ops::cttz(acc), (expect as u64).trailing_zeros());
-    }
+#[test]
+fn cttz_matches_tc() {
+    cases(CASES, 0x0a, |r| {
+        let (acc, expect) = arb_chained(r);
+        assert_eq!(ops::cttz(acc), (expect as u64).trailing_zeros());
+    });
+}
 
-    #[test]
-    fn comparisons_match_tc(a in any::<i64>() , b in any::<i64>()) {
+#[test]
+fn comparisons_match_tc() {
+    cases(CASES, 0x0b, |r| {
+        let (a, b) = (r.next_i64(), r.next_i64());
         // Restrict to pairs whose difference does not overflow — the regime
         // in which the hardware compare is defined to agree.
-        prop_assume!(a.checked_sub(b).is_some());
+        if a.checked_sub(b).is_none() {
+            return;
+        }
         let adder = RbAdder::new();
         let (x, y) = (RbNumber::from_i64(a), RbNumber::from_i64(b));
-        prop_assert_eq!(ops::eq_test(&adder, x, y), a == b);
+        assert_eq!(ops::eq_test(&adder, x, y), a == b);
         let s = ops::cmp_signed(&adder, x, y);
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert_eq!(s, ops::Sign::Negative),
-            std::cmp::Ordering::Equal => prop_assert_eq!(s, ops::Sign::Zero),
-            std::cmp::Ordering::Greater => prop_assert_eq!(s, ops::Sign::Positive),
+            std::cmp::Ordering::Less => assert_eq!(s, ops::Sign::Negative),
+            std::cmp::Ordering::Equal => assert_eq!(s, ops::Sign::Zero),
+            std::cmp::Ordering::Greater => assert_eq!(s, ops::Sign::Positive),
         }
-    }
+    });
+}
 
-    #[test]
-    fn negation_is_exact(x in arb_rb()) {
-        prop_assert_eq!(x.negated().value_i128(), -x.value_i128());
-    }
+#[test]
+fn comparisons_match_tc_near_ties() {
+    // Random 64-bit pairs almost never tie; force the interesting regime.
+    cases(CASES, 0x0c, |r| {
+        let a = r.range_i64(-4, 4);
+        let b = a + r.range_i64(-1, 2);
+        let adder = RbAdder::new();
+        let (x, y) = (RbNumber::from_i64(a), RbNumber::from_i64(b));
+        assert_eq!(ops::eq_test(&adder, x, y), a == b);
+    });
+}
 
-    #[test]
-    fn normalize_preserves_pattern(x in arb_rb()) {
+#[test]
+fn negation_is_exact() {
+    cases(CASES, 0x0d, |r| {
+        let x = arb_rb(r);
+        assert_eq!(x.negated().value_i128(), -x.value_i128());
+    });
+}
+
+#[test]
+fn normalize_preserves_pattern() {
+    cases(CASES, 0x0e, |r| {
+        let x = arb_rb(r);
         let n = normalize(x);
-        prop_assert_eq!(n.to_u64(), x.to_u64());
-        prop_assert!(n.is_normalized());
-        prop_assert_eq!(n.value_i128(), n.to_i64() as i128);
-    }
+        assert_eq!(n.to_u64(), x.to_u64());
+        assert!(n.is_normalized());
+        assert_eq!(n.value_i128(), n.to_i64() as i128);
+    });
+}
 
-    #[test]
-    fn sam_matches_plain_addition(base in any::<u64>(), disp in 0u64..1 << 16) {
+#[test]
+fn sam_matches_plain_addition() {
+    cases(CASES, 0x0f, |r| {
+        let base = r.next_u64();
+        let disp = r.range_u64(0, 1 << 16);
         let dec = SamDecoder::new(5, 12);
         let expect = (base.wrapping_add(disp) >> 5) as usize & 0x7f;
-        prop_assert_eq!(dec.decode(base, disp), expect);
+        assert_eq!(dec.decode(base, disp), expect);
         let hot = dec.decode_onehot(base, disp);
-        prop_assert_eq!(hot.iter().filter(|h| **h).count(), 1);
-    }
+        assert_eq!(hot.iter().filter(|h| **h).count(), 1);
+    });
+}
 
-    #[test]
-    fn modified_sam_matches_redundant_address(x in arb_rb(), disp in 0u64..1 << 15) {
+#[test]
+fn modified_sam_matches_redundant_address() {
+    cases(CASES, 0x10, |r| {
+        let x = arb_rb(r);
+        let disp = r.range_u64(0, 1 << 15);
         let dec = ModifiedSamDecoder::new(5, 12);
         let expect = (x.to_u64().wrapping_add(disp) >> 5) as usize & 0x7f;
-        prop_assert_eq!(dec.decode(x, disp), expect);
-    }
+        assert_eq!(dec.decode(x, disp), expect);
+    });
+}
 
-    #[test]
-    fn digit_value_round_trip(v in -1i8..=1) {
-        prop_assert_eq!(RbDigit::from_value(v).unwrap().value(), v);
+#[test]
+fn digit_value_round_trip() {
+    for v in -1i8..=1 {
+        assert_eq!(RbDigit::from_value(v).unwrap().value(), v);
     }
+}
 
-    #[test]
-    fn carry_propagation_is_local(x in arb_rb(), y in arb_rb(), j in 2usize..62) {
+#[test]
+fn carry_propagation_is_local() {
+    cases(CASES, 0x11, |r| {
+        let (x, y) = (arb_rb(r), arb_rb(r));
+        let j = r.range_usize(2, 62);
         // Perturbing input digit j never changes sum digits below j.
         let (base, _) = raw_add_serial(x, y);
         let perturbed = x.with_digit(j, RbDigit::One);
         let (pert, _) = raw_add_serial(perturbed, y);
         for i in 0..j {
-            prop_assert_eq!(base.digit(i), pert.digit(i));
+            assert_eq!(base.digit(i), pert.digit(i));
         }
-    }
+    });
 }

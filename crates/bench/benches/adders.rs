@@ -1,80 +1,69 @@
 //! Microbenchmarks for the arithmetic substrate: software redundant binary
 //! addition vs native 2's complement, conversions, SAM decoding, and
 //! gate-level netlist evaluation.
+//!
+//! Uses the in-repo `redbin-testkit` timer (the workspace builds offline,
+//! so there is no criterion). Run with `cargo bench -p redbin-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use redbin::arith::ops;
-use redbin::arith::sam::{ModifiedSamDecoder, SamDecoder};
 use redbin::arith::radix4::R4Number;
+use redbin::arith::sam::{ModifiedSamDecoder, SamDecoder};
 use redbin::arith::{RbAdder, RbNumber};
 use redbin::gates::adders;
+use redbin_testkit::bench::{bb, Bench};
 
-fn bench_adders(c: &mut Criterion) {
+fn bench_adders(h: &Bench) {
     let adder = RbAdder::new();
     let a = RbNumber::from_i64(0x0123_4567_89ab_cdef);
     let b = RbNumber::from_i64(-0x0fed_cba9_8765_4321);
 
-    c.bench_function("rb_add_single", |bench| {
-        bench.iter(|| adder.add(black_box(a), black_box(b)))
+    h.run("rb_add_single", || adder.add(bb(a), bb(b)));
+
+    h.run("native_add_single", || {
+        bb(0x0123_4567_89ab_cdefi64).wrapping_add(bb(-0x0fed_cba9_8765_4321))
     });
 
-    c.bench_function("native_add_single", |bench| {
-        bench.iter(|| black_box(0x0123_4567_89ab_cdefi64).wrapping_add(black_box(-0x0fed_cba9_8765_4321)))
+    h.run("rb_add_chain_64", || {
+        let mut acc = RbNumber::ZERO;
+        for i in 0..64i64 {
+            acc = adder.add(acc, RbNumber::from_i64(bb(i * 977))).sum;
+        }
+        acc
     });
 
-    c.bench_function("rb_add_chain_64", |bench| {
-        bench.iter(|| {
-            let mut acc = RbNumber::ZERO;
-            for i in 0..64i64 {
-                acc = adder.add(acc, RbNumber::from_i64(black_box(i * 977))).sum;
-            }
-            acc
-        })
-    });
+    let chained = adder.add(a, b).sum;
+    h.run("rb_to_tc_conversion", || bb(chained).to_i64());
 
-    c.bench_function("rb_to_tc_conversion", |bench| {
-        let chained = adder.add(a, b).sum;
-        bench.iter(|| black_box(chained).to_i64())
-    });
-
-    c.bench_function("rb_shift_left", |bench| {
-        bench.iter(|| ops::shl_digits(black_box(a), black_box(13)))
-    });
+    h.run("rb_shift_left", || ops::shl_digits(bb(a), bb(13)));
 
     let r4a = R4Number::from_i64(0x0123_4567_89ab_cdef);
     let r4b = R4Number::from_i64(-0x0fed_cba9_8765_4321);
-    c.bench_function("radix4_add_single", |bench| {
-        bench.iter(|| black_box(r4a).add(black_box(r4b)))
-    });
+    h.run("radix4_add_single", || bb(r4a).add(bb(r4b)));
 }
 
-fn bench_sam(c: &mut Criterion) {
+fn bench_sam(h: &Bench) {
     let dec = SamDecoder::new(6, 12);
-    c.bench_function("sam_decode_row", |bench| {
-        bench.iter(|| dec.decode(black_box(0xdead_b000), black_box(0x40)))
-    });
+    h.run("sam_decode_row", || dec.decode(bb(0xdead_b000), bb(0x40)));
     let mdec = ModifiedSamDecoder::new(6, 12);
     let adder = RbAdder::new();
     let base = adder
         .add(RbNumber::from_i64(0x1000_0000), RbNumber::from_i64(0xcafe))
         .sum;
-    c.bench_function("modified_sam_decode_row", |bench| {
-        bench.iter(|| mdec.decode(black_box(base), black_box(0x40)))
-    });
+    h.run("modified_sam_decode_row", || mdec.decode(bb(base), bb(0x40)));
 }
 
-fn bench_gate_netlists(c: &mut Criterion) {
+fn bench_gate_netlists(h: &Bench) {
     let rb = adders::rb_adder(64);
     let cla = adders::carry_lookahead(64);
     let a = RbNumber::from_i64(123456789);
     let b = RbNumber::from_i64(-987654321);
-    c.bench_function("netlist_rb_adder_eval", |bench| {
-        bench.iter(|| rb.add(black_box(a), black_box(b)))
-    });
-    c.bench_function("netlist_cla_eval", |bench| {
-        bench.iter(|| cla.add(black_box(123456789), black_box(987654321)))
-    });
+    h.run("netlist_rb_adder_eval", || rb.add(bb(a), bb(b)));
+    h.run("netlist_cla_eval", || cla.add(bb(123456789), bb(987654321)));
 }
 
-criterion_group!(benches, bench_adders, bench_sam, bench_gate_netlists);
-criterion_main!(benches);
+fn main() {
+    let h = Bench::quick();
+    bench_adders(&h);
+    bench_sam(&h);
+    bench_gate_netlists(&h);
+}

@@ -1,65 +1,64 @@
 //! Microbenchmarks for the front-end substrates: branch prediction and the
 //! cache hierarchy.
+//!
+//! Uses the in-repo `redbin-testkit` timer (the workspace builds offline,
+//! so there is no criterion). Run with `cargo bench -p redbin-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use redbin::isa::Opcode;
 use redbin::sim::bpred::BranchPredictor;
 use redbin::sim::cache::MemoryHierarchy;
+use redbin_testkit::bench::{bb, Bench};
 
-fn bench_bpred(c: &mut Criterion) {
-    c.bench_function("bpred_predict_update_1k", |bench| {
-        bench.iter(|| {
-            let mut p = BranchPredictor::new();
-            let mut t = 0u64;
-            for i in 0..1000usize {
-                let taken = (i * 2654435761) % 7 < 4;
-                let pred = p.predict_and_update(i & 0xff, Opcode::Bne, taken, i + 1, Some(i + 1));
-                t += pred.taken as u64;
-            }
-            black_box(t)
-        })
-    });
-}
-
-fn bench_caches(c: &mut Criterion) {
-    c.bench_function("hierarchy_hit_stream_1k", |bench| {
-        let mut h = MemoryHierarchy::new(
-            (64 * 1024, 4, 64, 2),
-            (8 * 1024, 2, 64, 2),
-            (1024 * 1024, 8, 64, 8, 2, 2),
-            (100, 32, 4),
-        );
-        // Warm a small region.
-        for i in 0..64u64 {
-            h.access_data(i * 64, 0);
+fn bench_bpred(h: &Bench) {
+    h.run("bpred_predict_update_1k", || {
+        let mut p = BranchPredictor::new();
+        let mut t = 0u64;
+        for i in 0..1000usize {
+            let taken = (i * 2654435761) % 7 < 4;
+            let pred = p.predict_and_update(i & 0xff, Opcode::Bne, taken, i + 1, Some(i + 1));
+            t += pred.taken as u64;
         }
-        bench.iter(|| {
-            let mut t = 0u64;
-            for i in 0..1000u64 {
-                t += h.access_data(black_box((i % 64) * 64), i).0;
-            }
-            black_box(t)
-        })
-    });
-
-    c.bench_function("hierarchy_miss_stream_1k", |bench| {
-        let mut h = MemoryHierarchy::new(
-            (64 * 1024, 4, 64, 2),
-            (8 * 1024, 2, 64, 2),
-            (1024 * 1024, 8, 64, 8, 2, 2),
-            (100, 32, 4),
-        );
-        let mut addr = 0u64;
-        bench.iter(|| {
-            let mut t = 0u64;
-            for i in 0..1000u64 {
-                addr = addr.wrapping_add(0x10_0040);
-                t += h.access_data(black_box(addr), i).0;
-            }
-            black_box(t)
-        })
+        bb(t)
     });
 }
 
-criterion_group!(benches, bench_bpred, bench_caches);
-criterion_main!(benches);
+fn standard_hierarchy() -> MemoryHierarchy {
+    MemoryHierarchy::new(
+        (64 * 1024, 4, 64, 2),
+        (8 * 1024, 2, 64, 2),
+        (1024 * 1024, 8, 64, 8, 2, 2),
+        (100, 32, 4),
+    )
+}
+
+fn bench_caches(h: &Bench) {
+    let mut hier = standard_hierarchy();
+    // Warm a small region.
+    for i in 0..64u64 {
+        hier.access_data(i * 64, 0);
+    }
+    h.run("hierarchy_hit_stream_1k", || {
+        let mut t = 0u64;
+        for i in 0..1000u64 {
+            t += hier.access_data(bb((i % 64) * 64), i).0;
+        }
+        bb(t)
+    });
+
+    let mut hier = standard_hierarchy();
+    let mut addr = 0u64;
+    h.run("hierarchy_miss_stream_1k", || {
+        let mut t = 0u64;
+        for i in 0..1000u64 {
+            addr = addr.wrapping_add(0x10_0040);
+            t += hier.access_data(bb(addr), i).0;
+        }
+        bb(t)
+    });
+}
+
+fn main() {
+    let h = Bench::quick();
+    bench_bpred(&h);
+    bench_caches(&h);
+}

@@ -1,42 +1,49 @@
 //! End-to-end simulator throughput: simulated instructions per wall-clock
 //! second on representative kernels, per machine model.
+//!
+//! Uses the in-repo `redbin-testkit` timer (the workspace builds offline,
+//! so there is no criterion). Run with `cargo bench -p redbin-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
 use redbin::prelude::*;
+use redbin_testkit::bench::Bench;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_kernel_test_scale");
-    group.sample_size(10);
+fn harness() -> Bench {
+    // Whole-simulation iterations are slow; take fewer, longer samples.
+    Bench {
+        warmup: Duration::from_millis(200),
+        samples: 10,
+        sample_time: Duration::from_millis(120),
+    }
+}
+
+fn bench_simulator(h: &Bench) {
     for b in [Benchmark::Go, Benchmark::Gap, Benchmark::Mcf] {
         let program = b.program(Scale::Test);
         for model in [CoreModel::Baseline, CoreModel::RbFull] {
-            group.bench_function(format!("{}_{}", b.name(), model.name()), |bench| {
-                bench.iter_batched(
-                    || Simulator::new(MachineConfig::new(model, 8), &program),
-                    |sim| sim.run().expect("runs"),
-                    BatchSize::SmallInput,
-                )
+            h.run(&format!("simulate/{}_{}", b.name(), model.name()), || {
+                Simulator::new(MachineConfig::new(model, 8), &program)
+                    .run()
+                    .expect("runs")
             });
         }
     }
-    group.finish();
 }
 
-fn bench_faithful_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("faithful_datapath");
-    group.sample_size(10);
+fn bench_faithful_overhead(h: &Bench) {
     let program = Benchmark::Gap.program(Scale::Test);
     for mode in [DatapathMode::Fast, DatapathMode::Faithful] {
-        group.bench_function(format!("{mode:?}"), |bench| {
-            bench.iter_batched(
-                || Simulator::new(MachineConfig::rb_full(8).with_datapath(mode), &program),
-                |sim| sim.run().expect("runs"),
-                BatchSize::SmallInput,
-            )
+        h.run(&format!("faithful_datapath/{mode:?}"), || {
+            Simulator::new(MachineConfig::rb_full(8).with_datapath(mode), &program)
+                .run()
+                .expect("runs")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_faithful_overhead);
-criterion_main!(benches);
+fn main() {
+    let h = harness();
+    bench_simulator(&h);
+    bench_faithful_overhead(&h);
+}

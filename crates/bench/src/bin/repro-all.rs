@@ -1,34 +1,85 @@
 //! Runs every table and figure reproduction in sequence — the full
 //! evaluation section of the paper.
+//!
+//! With `--json <path>`, also writes a manifest document containing every
+//! experiment's structured result plus per-experiment wall-clock and
+//! throughput metadata.
+
+use std::time::Instant;
 
 use redbin::experiments;
+use redbin::json::{self, Json};
 use redbin::report;
+
+/// Times one experiment and records `(result-json, wall-seconds)` in the
+/// manifest under `name`.
+fn record(manifest: &mut Json, name: &str, started: Instant, body: Json) {
+    let mut entry = Json::object();
+    entry.set("wall-seconds", Json::Num(started.elapsed().as_secs_f64()));
+    entry.set("result", body);
+    manifest.set(name, entry);
+}
 
 fn main() {
     let cfg = redbin_bench::experiment_config();
+    let run_started = Instant::now();
+    let mut manifest = Json::object();
+    let mut instructions = 0u64;
+
     println!("=== §3.4 delays ===");
-    print!("{}", experiments::delay_report());
+    let t = Instant::now();
+    let delays = experiments::delay_report();
+    print!("{delays}");
+    record(&mut manifest, "delays", t, json::delay_report(&delays));
     println!();
+
     println!("=== Table 1 ===");
+    let t = Instant::now();
     let (merged, per) = experiments::table1(&cfg);
     print!("{}", report::render_table1(&merged, &per));
+    record(&mut manifest, "table1", t, json::table1(&merged, &per));
     println!();
+
     println!("=== Table 3 ===");
-    print!("{}", report::render_table3(&experiments::table3()));
+    let t = Instant::now();
+    let rows = experiments::table3();
+    print!("{}", report::render_table3(&rows));
+    record(&mut manifest, "table3", t, json::table3(&rows));
     println!();
-    for (n, fig) in [
-        (9, experiments::figure9(&cfg)),
-        (10, experiments::figure10(&cfg)),
-        (11, experiments::figure11(&cfg)),
-        (12, experiments::figure12(&cfg)),
+
+    for (n, run) in [
+        (9, experiments::figure9 as fn(&_) -> _),
+        (10, experiments::figure10),
+        (11, experiments::figure11),
+        (12, experiments::figure12),
     ] {
         println!("=== Figure {n} ===");
+        let t = Instant::now();
+        let fig = run(&cfg);
         print!("{}", report::render_ipc_figure(&fig, &format!("Figure {n}.")));
+        instructions += redbin_bench::figure_instructions(&fig);
+        record(&mut manifest, &format!("figure{n}"), t, json::ipc_figure(&fig));
         println!();
     }
+
     println!("=== Figure 13 ===");
-    print!("{}", report::render_figure13(&experiments::figure13(&cfg)));
+    let t = Instant::now();
+    let fig13 = experiments::figure13(&cfg);
+    print!("{}", report::render_figure13(&fig13));
+    record(&mut manifest, "figure13", t, json::figure13(&fig13));
     println!();
+
     println!("=== Figure 14 ===");
-    print!("{}", report::render_figure14(&experiments::figure14(&cfg)));
+    let t = Instant::now();
+    let fig14 = experiments::figure14(&cfg);
+    print!("{}", report::render_figure14(&fig14));
+    record(&mut manifest, "figure14", t, json::figure14(&fig14));
+
+    redbin_bench::emit_json(
+        "all",
+        cfg.scale,
+        run_started,
+        Some(instructions),
+        manifest,
+    );
 }

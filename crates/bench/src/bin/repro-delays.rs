@@ -3,17 +3,28 @@
 use redbin::experiments;
 use redbin::gates::netlist::DelayModel;
 use redbin::gates::report::DelayReport;
+use redbin::json::{self, Json};
 
 fn main() {
+    let started = std::time::Instant::now();
+    let unit = experiments::delay_report();
+    let fanout = DelayReport::compute(DelayModel::FanoutAware { load_factor: 0.2 }, &[8, 16, 32, 64, 128]);
     println!("§3.4 critical-path delays (unit-gate model):");
-    print!("{}", experiments::delay_report());
+    print!("{unit}");
     println!();
     println!("fan-out-aware model (load factor 0.2):");
-    print!(
-        "{}",
-        DelayReport::compute(DelayModel::FanoutAware { load_factor: 0.2 }, &[8, 16, 32, 64, 128])
-    );
+    print!("{fanout}");
     println!();
     println!("paper reference points: RB ≈ 3× faster than a 64-bit CLA;");
     println!("RB→TC converter ≈ 2.7× slower than the RB adder (SPICE, 0.5 µm).");
+    let mut body = Json::object();
+    body.set("unit-gate", json::delay_report(&unit));
+    body.set("fanout-aware", json::delay_report(&fanout));
+    redbin_bench::emit_json(
+        "delays",
+        redbin_bench::scale_from_args(),
+        started,
+        None,
+        body,
+    );
 }

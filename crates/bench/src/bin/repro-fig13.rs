@@ -6,6 +6,14 @@ use redbin::report;
 
 fn main() {
     let cfg = redbin_bench::experiment_config();
+    let started = std::time::Instant::now();
     let fig = experiments::figure13(&cfg);
     print!("{}", report::render_figure13(&fig));
+    redbin_bench::emit_json(
+        "figure13",
+        cfg.scale,
+        started,
+        None,
+        redbin::json::figure13(&fig),
+    );
 }

@@ -5,6 +5,14 @@ use redbin::report;
 
 fn main() {
     let cfg = redbin_bench::experiment_config();
+    let started = std::time::Instant::now();
     let fig = experiments::figure14(&cfg);
     print!("{}", report::render_figure14(&fig));
+    redbin_bench::emit_json(
+        "figure14",
+        cfg.scale,
+        started,
+        None,
+        redbin::json::figure14(&fig),
+    );
 }

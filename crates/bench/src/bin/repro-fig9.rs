@@ -5,8 +5,16 @@ use redbin::report;
 
 fn main() {
     let cfg = redbin_bench::experiment_config();
+    let started = std::time::Instant::now();
     let fig = experiments::figure9(&cfg);
     print!("{}", report::render_ipc_figure(&fig, "Figure 9."));
     println!();
     print!("{}", report::render_ipc_bars(&fig));
+    redbin_bench::emit_json(
+        "figure9",
+        cfg.scale,
+        started,
+        Some(redbin_bench::figure_instructions(&fig)),
+        redbin::json::ipc_figure(&fig),
+    );
 }

@@ -5,6 +5,14 @@ use redbin::report;
 
 fn main() {
     let cfg = redbin_bench::experiment_config();
+    let started = std::time::Instant::now();
     let (merged, per) = experiments::table1(&cfg);
     print!("{}", report::render_table1(&merged, &per));
+    redbin_bench::emit_json(
+        "table1",
+        cfg.scale,
+        started,
+        Some(merged.total()),
+        redbin::json::table1(&merged, &per),
+    );
 }

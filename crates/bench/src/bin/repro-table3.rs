@@ -4,5 +4,14 @@ use redbin::experiments;
 use redbin::report;
 
 fn main() {
-    print!("{}", report::render_table3(&experiments::table3()));
+    let started = std::time::Instant::now();
+    let rows = experiments::table3();
+    print!("{}", report::render_table3(&rows));
+    redbin_bench::emit_json(
+        "table3",
+        redbin_bench::scale_from_args(),
+        started,
+        None,
+        redbin::json::table3(&rows),
+    );
 }

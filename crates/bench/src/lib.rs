@@ -36,3 +36,56 @@ pub fn experiment_config() -> ExperimentConfig {
         ..Default::default()
     }
 }
+
+/// Parses `--json <path>` (or `--json=<path>`) from argv: where to write
+/// the machine-readable result alongside the text report.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut value = None;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            value = args.next();
+        } else if let Some(v) = a.strip_prefix("--json=") {
+            value = Some(v.to_string());
+        }
+    }
+    value.map(std::path::PathBuf::from)
+}
+
+/// If `--json` was given, wraps `body` with run metadata (schema version,
+/// experiment name, scale, wall-clock seconds, and simulated-instruction
+/// throughput when `instructions` is known) and writes it out.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a repro run whose results vanish
+/// should fail loudly.
+pub fn emit_json(
+    experiment: &str,
+    scale: Scale,
+    started: std::time::Instant,
+    instructions: Option<u64>,
+    body: json::Json,
+) {
+    let Some(path) = json_path_from_args() else { return };
+    let elapsed = started.elapsed();
+    let mut doc = json::with_meta(experiment, scale, elapsed, body);
+    if let Some(n) = instructions {
+        doc.set("simulated-instructions", json::Json::UInt(n));
+        let rate = n as f64 / elapsed.as_secs_f64().max(1e-9);
+        doc.set("instructions-per-second", json::Json::Num(rate));
+    }
+    json::write_file(&path, &doc)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("json: wrote {}", path.display());
+}
+
+/// Total simulated (retired) instructions behind an IPC figure, summed over
+/// every benchmark and machine model — the throughput denominator.
+pub fn figure_instructions(fig: &redbin::experiments::IpcFigure) -> u64 {
+    fig.rows
+        .iter()
+        .flat_map(|r| r.stats.iter())
+        .map(|s| s.retired)
+        .sum()
+}

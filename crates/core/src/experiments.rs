@@ -105,12 +105,15 @@ pub fn run_one(
 
 /// One benchmark's IPC under the four machine models, in
 /// [`CoreModel::all`] order (Baseline, RB-limited, RB-full, Ideal).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IpcRow {
     /// The benchmark.
     pub benchmark: Benchmark,
     /// IPC per machine model.
     pub ipc: [f64; 4],
+    /// Full simulator statistics per machine model (stall breakdowns,
+    /// cache counters, …) — the source the IPC column is derived from.
+    pub stats: Vec<SimStats>,
 }
 
 /// The data behind Figures 9–12: per-benchmark IPC for the four machines.
@@ -150,10 +153,13 @@ pub fn figure_ipc(width: usize, suite: Suite, cfg: &ExperimentConfig) -> IpcFigu
     let rows = run_jobs(benches.len(), cfg.threads, |i| {
         let b = benches[i];
         let mut ipc = [0.0; 4];
+        let mut stats = Vec::with_capacity(4);
         for (m, model) in CoreModel::all().iter().enumerate() {
-            ipc[m] = run_one(*model, width, b, cfg).ipc();
+            let s = run_one(*model, width, b, cfg);
+            ipc[m] = s.ipc();
+            stats.push(s);
         }
-        IpcRow { benchmark: b, ipc }
+        IpcRow { benchmark: b, ipc, stats }
     });
     IpcFigure { width, suite, rows }
 }

@@ -18,6 +18,8 @@
 //! * [`experiments`] — one driver per table/figure (Table 1, Figures 9–14,
 //!   the §3.4 delay table), with parallel execution across benchmarks.
 //! * [`report`] — plain-text rendering of experiment results.
+//! * [`json`] — dependency-free structured JSON output for every experiment
+//!   (the `--json` flag of the `repro-*` binaries).
 //!
 //! # Quickstart
 //!
@@ -42,11 +44,13 @@ pub use redbin_sim as sim;
 pub use redbin_workload as workload;
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use crate::experiments::{self, ExperimentConfig};
+    pub use crate::json;
     pub use crate::report;
     pub use redbin_arith::{RbAdder, RbNumber};
     pub use redbin_sim::{

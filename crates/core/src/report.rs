@@ -249,6 +249,7 @@ mod tests {
             rows: vec![IpcRow {
                 benchmark: Benchmark::Go,
                 ipc: [1.0, 1.05, 1.08, 1.1],
+                stats: Vec::new(),
             }],
         }
     }

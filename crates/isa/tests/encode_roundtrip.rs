@@ -1,77 +1,112 @@
 //! Property tests: the binary encoding round-trips every encodable
-//! instruction, and the emulator is deterministic.
+//! instruction, and decoding arbitrary words never panics.
+//!
+//! Inputs come from `redbin-testkit`'s deterministic generator (the
+//! workspace builds offline, so there is no proptest); a failing case
+//! prints its seed for standalone reproduction.
 
-use proptest::prelude::*;
 use redbin_isa::encode::{decode, encode};
 use redbin_isa::{Inst, Opcode, Operand, Reg};
+use redbin_testkit::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+const CASES: usize = 4096;
+
+fn arb_reg(r: &mut Rng) -> Reg {
+    Reg(r.range_u64(0, 32) as u8)
 }
 
-fn arb_operate() -> impl Strategy<Value = Inst> {
-    let ops = prop::sample::select(vec![
-        Opcode::Addq, Opcode::Subq, Opcode::Addl, Opcode::And, Opcode::Bis,
-        Opcode::Xor, Opcode::Sll, Opcode::Srl, Opcode::Cmplt, Opcode::Cmpule,
-        Opcode::Cmoveq, Opcode::Extbl, Opcode::Zapnot, Opcode::Mulq,
-        Opcode::S4addq, Opcode::Ctpop, Opcode::Fadd,
+fn arb_operate(r: &mut Rng) -> Inst {
+    let op = *r.pick(&[
+        Opcode::Addq,
+        Opcode::Subq,
+        Opcode::Addl,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Cmplt,
+        Opcode::Cmpule,
+        Opcode::Cmoveq,
+        Opcode::Extbl,
+        Opcode::Zapnot,
+        Opcode::Mulq,
+        Opcode::S4addq,
+        Opcode::Ctpop,
+        Opcode::Fadd,
     ]);
-    (ops, arb_reg(), arb_reg(), arb_reg(), -128i64..=127, any::<bool>()).prop_map(
-        |(op, ra, rb, rc, imm, use_imm)| {
-            let operand = if use_imm { Operand::Imm(imm) } else { Operand::Reg(rb) };
-            Inst::op(op, ra, operand, rc)
-        },
-    )
+    let ra = arb_reg(r);
+    let rc = arb_reg(r);
+    let operand = if r.next_bool() {
+        Operand::Imm(r.range_i64(-128, 128))
+    } else {
+        Operand::Reg(arb_reg(r))
+    };
+    Inst::op(op, ra, operand, rc)
 }
 
-fn arb_mem() -> impl Strategy<Value = Inst> {
-    let ops = prop::sample::select(vec![
-        Opcode::Ldq, Opcode::Ldl, Opcode::Ldbu, Opcode::Stq, Opcode::Stl, Opcode::Stb,
+fn arb_mem(r: &mut Rng) -> Inst {
+    let op = *r.pick(&[
+        Opcode::Ldq,
+        Opcode::Ldl,
+        Opcode::Ldbu,
+        Opcode::Stq,
+        Opcode::Stl,
+        Opcode::Stb,
     ]);
-    (ops, arb_reg(), arb_reg(), -16384i64..=16383)
-        .prop_map(|(op, rc, base, disp)| Inst::mem(op, rc, base, disp))
+    Inst::mem(op, arb_reg(r), arb_reg(r), r.range_i64(-16384, 16384))
 }
 
-fn arb_branch() -> impl Strategy<Value = Inst> {
-    let ops = prop::sample::select(vec![
-        Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge, Opcode::Ble,
-        Opcode::Bgt, Opcode::Blbs, Opcode::Blbc,
+fn arb_branch(r: &mut Rng) -> Inst {
+    let op = *r.pick(&[
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Ble,
+        Opcode::Bgt,
+        Opcode::Blbs,
+        Opcode::Blbc,
     ]);
-    (ops, arb_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(op, ra, disp)| Inst::branch(op, ra, disp))
+    Inst::branch(op, arb_reg(r), r.range_i64(-(1 << 19), 1 << 19))
 }
 
-proptest! {
-    #[test]
-    fn operate_round_trips(inst in arb_operate()) {
-        let word = encode(&inst).expect("in range");
-        prop_assert_eq!(decode(word).expect("valid"), inst);
-    }
+fn round_trip(inst: Inst) {
+    let word = encode(&inst).expect("in range");
+    assert_eq!(decode(word).expect("valid"), inst);
+}
 
-    #[test]
-    fn memory_round_trips(inst in arb_mem()) {
-        let word = encode(&inst).expect("in range");
-        prop_assert_eq!(decode(word).expect("valid"), inst);
-    }
+#[test]
+fn operate_round_trips() {
+    cases(CASES, 0xA11CE, |r| round_trip(arb_operate(r)));
+}
 
-    #[test]
-    fn branches_round_trip(inst in arb_branch()) {
-        let word = encode(&inst).expect("in range");
-        prop_assert_eq!(decode(word).expect("valid"), inst);
-    }
+#[test]
+fn memory_round_trips() {
+    cases(CASES, 0xB0B, |r| round_trip(arb_mem(r)));
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
-        let _ = decode(word); // may be Err, must not panic
-    }
+#[test]
+fn branches_round_trip() {
+    cases(CASES, 0xCAFE, |r| round_trip(arb_branch(r)));
+}
 
-    #[test]
-    fn decoded_instructions_reencode(word in any::<u32>()) {
-        if let Ok(inst) = decode(word) {
+#[test]
+fn decode_never_panics() {
+    cases(CASES * 4, 0xD00D, |r| {
+        let _ = decode(r.next_u32()); // may be Err, must not panic
+    });
+}
+
+#[test]
+fn decoded_instructions_reencode() {
+    cases(CASES * 4, 0xE66, |r| {
+        if let Ok(inst) = decode(r.next_u32()) {
             // A decoded instruction is always encodable, and its encoding
             // decodes to the same instruction (the encoding may differ in
             // don't-care bits).
             let w2 = encode(&inst).expect("decoded implies encodable");
-            prop_assert_eq!(decode(w2).expect("valid"), inst);
+            assert_eq!(decode(w2).expect("valid"), inst);
         }
-    }
+    });
 }

@@ -35,6 +35,22 @@ pub struct ResultTiming {
     pub cluster: usize,
 }
 
+/// Why an operand that is *not* available at some cycle is unavailable —
+/// feeds the stall-cause accounting in [`crate::stats::StallBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnavailableReason {
+    /// The result has not been produced (or has not reached this cluster)
+    /// yet.
+    InFlight,
+    /// The result exists in redundant form but the consumer needs 2's
+    /// complement and the CV1/CV2 conversion has not completed.
+    ConversionWait,
+    /// The result exists in the needed format, but no bypass level covers
+    /// this cycle and the register file cannot serve it yet — a hole in a
+    /// limited bypass network.
+    Hole,
+}
+
 /// The availability oracle for one machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BypassModel {
@@ -166,6 +182,39 @@ impl BypassModel {
         }
         debug_assert!(self.available(r, need_tc, consumer_cluster, best));
         best
+    }
+
+    /// Classifies *why* the operand cannot be sourced for an execution
+    /// beginning at cycle `e`, or `None` if it can.
+    ///
+    /// The classification is exhaustive and mutually exclusive:
+    ///
+    /// * [`UnavailableReason::InFlight`] — the producing execution has not
+    ///   finished (or the value has not crossed the cluster boundary): the
+    ///   value does not exist here in any format.
+    /// * [`UnavailableReason::ConversionWait`] — a redundant result whose
+    ///   2's-complement form is still in CV1/CV2.
+    /// * [`UnavailableReason::Hole`] — the value exists in the needed
+    ///   format but neither a bypass level nor the register file covers
+    ///   this cycle (limited-bypass hole). Never occurs on a full network.
+    pub fn unavailable_reason(
+        &self,
+        r: &ResultTiming,
+        need_tc: bool,
+        consumer_cluster: usize,
+        e: u64,
+    ) -> Option<UnavailableReason> {
+        if self.available(r, need_tc, consumer_cluster, e) {
+            return None;
+        }
+        let x = self.xdelay(r, consumer_cluster);
+        if e <= r.ready + x {
+            return Some(UnavailableReason::InFlight);
+        }
+        if r.rb && need_tc && e <= r.tc_ready + x {
+            return Some(UnavailableReason::ConversionWait);
+        }
+        Some(UnavailableReason::Hole)
     }
 
     /// `true` if sourcing at `e` uses a bypass path rather than the
@@ -313,6 +362,49 @@ mod tests {
         assert!(!m.available(&r, false, 1, 11), "remote consumer waits");
         assert!(m.available(&r, false, 1, 12));
         assert_eq!(m.earliest(&r, false, 1, 0), 12);
+    }
+
+    #[test]
+    fn unavailable_reasons_partition_the_timeline() {
+        // RB-limited, redundant producer, redundant consumer: InFlight up
+        // to production, then BYP-1, then a two-cycle Hole, then the RF.
+        let m = BypassModel::new(&MachineConfig::rb_limited(4));
+        let r = rb_result(10);
+        assert_eq!(m.unavailable_reason(&r, false, 0, 9), Some(UnavailableReason::InFlight));
+        assert_eq!(m.unavailable_reason(&r, false, 0, 10), Some(UnavailableReason::InFlight));
+        assert_eq!(m.unavailable_reason(&r, false, 0, 11), None, "BYP-1");
+        assert_eq!(m.unavailable_reason(&r, false, 0, 12), Some(UnavailableReason::Hole));
+        assert_eq!(m.unavailable_reason(&r, false, 0, 13), Some(UnavailableReason::Hole));
+        assert_eq!(m.unavailable_reason(&r, false, 0, 14), None, "register file");
+        // 2's-complement consumer of the same result: the wait before the
+        // conversion completes is ConversionWait, not a hole.
+        assert_eq!(m.unavailable_reason(&r, true, 0, 11), Some(UnavailableReason::ConversionWait));
+        assert_eq!(m.unavailable_reason(&r, true, 0, 12), Some(UnavailableReason::ConversionWait));
+        assert_eq!(m.unavailable_reason(&r, true, 0, 13), None, "BYP-3 post-conversion");
+    }
+
+    #[test]
+    fn full_network_tc_producers_never_report_holes() {
+        let m = BypassModel::new(&MachineConfig::ideal(4));
+        let r = tc_result(10);
+        for e in 0..40 {
+            for need_tc in [false, true] {
+                match m.unavailable_reason(&r, need_tc, 0, e) {
+                    None | Some(UnavailableReason::InFlight) => {}
+                    other => panic!("cycle {e}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure14_removed_levels_report_holes() {
+        let cfg = MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2]));
+        let m = BypassModel::new(&cfg);
+        let r = tc_result(10);
+        assert_eq!(m.unavailable_reason(&r, false, 0, 12), Some(UnavailableReason::Hole));
+        assert_eq!(m.unavailable_reason(&r, false, 0, 11), None);
+        assert_eq!(m.unavailable_reason(&r, false, 0, 13), None);
     }
 
     #[test]

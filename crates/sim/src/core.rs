@@ -7,12 +7,12 @@ use redbin_isa::format::{input_req, InputReq};
 use redbin_isa::{Opcode, Program, StepError};
 
 use crate::bpred::BranchPredictor;
-use crate::bypass::{BypassModel, ResultTiming};
+use crate::bypass::{BypassModel, ResultTiming, UnavailableReason};
 use crate::cache::{MemoryHierarchy, ServedBy};
 use crate::config::{MachineConfig, SteeringPolicy};
 use crate::lsq::{LoadDecision, StoreQueue};
 use crate::oracle::{DynInst, Oracle};
-use crate::stats::{BypassCase, SimStats};
+use crate::stats::{BypassCase, SimStats, StallCause};
 use crate::trace::{PipelineTrace, TraceEntry};
 
 /// Errors a simulation can produce.
@@ -75,6 +75,9 @@ struct InFlight {
     complete_at: u64,
     mispredicted: bool,
     mem_size: u8,
+    /// For issued loads: whether the access missed in the L1 data cache
+    /// (used to attribute downstream consumer stalls to `CacheMiss`).
+    dcache_miss: bool,
 }
 
 struct FetchedInst {
@@ -109,6 +112,9 @@ pub struct Simulator {
     waiting: Vec<VecDeque<u64>>,
     last_writer: [Option<u64>; 32],
     steer_counter: u64,
+    /// Set by `dispatch` each cycle: a decoded instruction was ready to
+    /// enter the window but the ROB or its reservation stations were full.
+    window_blocked: bool,
     trace: Option<PipelineTrace>,
 }
 
@@ -140,6 +146,7 @@ impl Simulator {
             waiting,
             last_writer: [None; 32],
             steer_counter: 0,
+            window_blocked: false,
             trace: None,
         }
     }
@@ -200,6 +207,7 @@ impl Simulator {
 
     fn finish_stats(&mut self) -> SimStats {
         self.stats.cycles = self.cycle;
+        self.stats.width = self.cfg.width as u64;
         self.stats.fidelity_checks = self.oracle.fidelity_checks();
         self.stats.icache_misses = self.mem.l1i.misses();
         self.stats.dcache_accesses = self.mem.l1d.accesses();
@@ -295,9 +303,14 @@ impl Simulator {
 
     fn dispatch(&mut self) {
         let mut dispatched = 0usize;
+        self.window_blocked = false;
         while dispatched < self.cfg.front_width {
             let Some(front) = self.fetch_q.front() else { break };
-            if front.ready > self.cycle || self.ring.len() >= self.cfg.rob {
+            if front.ready > self.cycle {
+                break;
+            }
+            if self.ring.len() >= self.cfg.rob {
+                self.window_blocked = true;
                 break;
             }
             let scheduler = match self.cfg.steering {
@@ -307,6 +320,7 @@ impl Simulator {
                 SteeringPolicy::DependenceAware => self.steer_by_dependence(&front.d),
             };
             if self.rs_free[scheduler] == 0 {
+                self.window_blocked = true;
                 break;
             }
             let f = self.fetch_q.pop_front().expect("front exists");
@@ -371,6 +385,7 @@ impl Simulator {
                 complete_at: u64::MAX,
                 mispredicted: f.mispredicted,
                 mem_size,
+                dcache_miss: false,
             };
             debug_assert_eq!(self.base_seq + self.ring.len() as u64, d.seq);
             self.ring.push_back(entry);
@@ -476,11 +491,22 @@ impl Simulator {
         let e = self.cycle + self.cfg.sched_to_exec;
         let mut issued_count = 0usize;
         let mut any_issued = false;
+        // Cause charged to slots a scheduler leaves unused because it has
+        // nothing waiting at all: the window is the bottleneck if dispatch
+        // was blocked this cycle, otherwise the front end is.
+        let upstream = if self.window_blocked {
+            StallCause::WindowFull
+        } else {
+            StallCause::FetchStarved
+        };
         for s in 0..self.cfg.schedulers {
-            let mut picked: Vec<u64> = Vec::with_capacity(2);
+            let mut picked = 0usize;
+            // Oldest entry that could not issue this cycle, and whether the
+            // store queue (rather than an operand) held it back.
+            let mut blocked: Option<(u64, bool)> = None;
             // Scan waiting entries oldest-first; drop stale (issued) seqs.
             let mut i = 0;
-            while i < self.waiting[s].len() && picked.len() < 2 {
+            while i < self.waiting[s].len() && picked < 2 {
                 let seq = self.waiting[s][i];
                 let Some(entry) = self.entry(seq) else {
                     self.waiting[s].remove(i);
@@ -496,33 +522,97 @@ impl Simulator {
                     .iter()
                     .all(|src| self.operand_available(src, cluster, e));
                 let mut load_decision = LoadDecision::Cache;
+                let mut lsq_blocked = false;
                 if ready && entry.d.inst.op.is_load() {
                     let addr = entry.d.ea.expect("load has address");
                     let size = entry.mem_size;
                     load_decision = self.sq.check_load(seq, addr, size, e);
                     if load_decision == LoadDecision::Blocked {
                         ready = false;
+                        lsq_blocked = true;
                     }
                 }
                 if ready {
                     issued_count += 1;
-                    picked.push(seq);
-                    // Stash the load decision via a parallel structure: we
-                    // recompute below (cheap, and `check_load` counters are
-                    // already bumped; recompute with probing avoided by
-                    // carrying the decision).
+                    picked += 1;
+                    // `check_load` counters are already bumped; carry the
+                    // decision so issue_one does not probe the queue again.
                     self.issue_one(seq, e, load_decision);
                     any_issued = true;
                     self.waiting[s].remove(i);
                     continue;
                 }
+                if blocked.is_none() {
+                    blocked = Some((seq, lsq_blocked));
+                }
                 i += 1;
             }
+            // Stall accounting: each scheduler owns 2 of the machine's
+            // `width` issue slots every cycle; charge the unused ones.
+            let unused = 2u64.saturating_sub(picked as u64);
+            if unused > 0 {
+                let cause = match blocked {
+                    Some((seq, lsq)) => self.stall_cause_of(seq, lsq, e),
+                    None => upstream,
+                };
+                self.stats.stall.charge(cause, unused);
+            }
         }
+        self.stats.stall.used += issued_count as u64;
         if !any_issued && !self.ring.is_empty() {
             self.stats.idle_issue_cycles += 1;
         }
         self.stats.issue_hist[issued_count.min(8)] += 1;
+    }
+
+    /// Attributes an unused issue slot: why could the oldest still-waiting
+    /// instruction (`seq`) not begin execution at cycle `e`?
+    ///
+    /// The binding operand is the one that becomes available *latest* — a
+    /// slot lost to both a cache miss and a conversion is charged to
+    /// whichever constraint releases last.
+    fn stall_cause_of(&self, seq: u64, lsq_blocked: bool, e: u64) -> StallCause {
+        if lsq_blocked {
+            return StallCause::Disambiguation;
+        }
+        let Some(entry) = self.entry(seq) else {
+            return StallCause::OperandWait;
+        };
+        let mut worst: Option<(u64, StallCause)> = None;
+        for src in &entry.srcs {
+            let Some(p) = src.producer else { continue };
+            let Some(prod) = self.entry(p) else { continue };
+            let (at, cause) = match &prod.timing {
+                // Producer has not itself issued: a pure dependence wait
+                // (availability unknown, so it binds over everything).
+                None => (u64::MAX, StallCause::OperandWait),
+                Some(r) => {
+                    let reason =
+                        self.bypass.unavailable_reason(r, src.need_tc, entry.cluster, e);
+                    let Some(reason) = reason else { continue };
+                    let at = self.bypass.earliest(r, src.need_tc, entry.cluster, e);
+                    let cause = match reason {
+                        UnavailableReason::InFlight => {
+                            if prod.d.inst.op.is_load() && prod.dcache_miss {
+                                StallCause::CacheMiss
+                            } else {
+                                StallCause::OperandWait
+                            }
+                        }
+                        UnavailableReason::ConversionWait => StallCause::ConversionWait,
+                        UnavailableReason::Hole => StallCause::BypassHole,
+                    };
+                    (at, cause)
+                }
+            };
+            if worst.is_none_or(|(t, _)| at >= t) {
+                worst = Some((at, cause));
+            }
+        }
+        // The fallback covers a same-cycle race: a producer that issued
+        // earlier in this very cycle can make the operand look available
+        // even though the scan saw it missing.
+        worst.map_or(StallCause::OperandWait, |(_, c)| c)
     }
 
     fn issue_one(&mut self, seq: u64, e: u64, load_decision: LoadDecision) {
@@ -544,15 +634,17 @@ impl Simulator {
 
         let mut timing = None;
         let mut complete_at;
+        let mut dcache_miss = false;
         if op.is_load() {
             let addr = ea.expect("load address");
             let t0 = match load_decision {
                 LoadDecision::Forward(t) => t,
-                _ => self.mem.access_data(addr, e).0,
+                _ => {
+                    let (t, served) = self.mem.access_data(addr, e);
+                    dcache_miss = served != ServedBy::L1;
+                    t
+                }
             };
-            if std::env::var_os("REDBIN_TRACE").is_some() && seq < 400 {
-                eprintln!("TRACE seq={seq} pc={} load e={e} t0={t0}", self.entry(seq).unwrap().d.pc);
-            }
             timing = Some(ResultTiming {
                 ready: t0,
                 rb: false,
@@ -579,9 +671,6 @@ impl Simulator {
             complete_at = tc_ready + 1;
         }
 
-        if std::env::var_os("REDBIN_TRACE").is_some() && seq < 400 && !op.is_load() {
-            eprintln!("TRACE seq={seq} pc={} {op:?} e={e}", self.entry(seq).unwrap().d.pc);
-        }
         if op.is_control() {
             let resolve = exec_end;
             complete_at = resolve + 1;
@@ -594,6 +683,7 @@ impl Simulator {
         let issue_cycle = self.cycle;
         let entry = self.entry_mut(seq).expect("issuing entry exists");
         entry.state = State::Issued;
+        entry.dcache_miss = dcache_miss;
         entry.timing = timing;
         entry.complete_at = complete_at;
         entry.issue_cycle = issue_cycle;

@@ -1,6 +1,131 @@
-//! Simulation statistics, including the Figure 13 bypass-case accounting.
+//! Simulation statistics, including the Figure 13 bypass-case accounting
+//! and the per-cycle stall-cause (lost-slot) breakdown.
 
 use redbin_isa::format::Table1Counts;
+
+/// Why an issue slot went unused in some cycle — the stall taxonomy.
+///
+/// Every cycle the machine has `width` issue slots. Slots that issue an
+/// instruction are counted as *used*; every other slot is charged to
+/// exactly one of these causes, so the breakdown is a complete accounting:
+/// `used + Σ causes == cycles × width` (asserted by the test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// The scheduler partition had no instructions at all: the front end
+    /// did not deliver (icache miss, mispredict redirect, fetch/decode
+    /// latency, program exhausted).
+    FetchStarved,
+    /// Instructions were fetched and decodable, but dispatch could not
+    /// insert them: the reorder buffer or the reservation stations were
+    /// full (window pressure).
+    WindowFull,
+    /// The oldest waiting instruction's operand simply does not exist yet:
+    /// its producer has not issued, or is still executing.
+    OperandWait,
+    /// The operand *exists* but no bypass level nor the register file can
+    /// deliver it this cycle — a hole in a limited bypass network (§4.2,
+    /// Figure 14).
+    BypassHole,
+    /// The operand exists in redundant form but the consumer needs 2's
+    /// complement and the CV1/CV2 conversion has not finished (RB→TC
+    /// delay).
+    ConversionWait,
+    /// The operand is being produced by a load that missed in the L1 data
+    /// cache (waiting on L2/memory).
+    CacheMiss,
+    /// A ready load was blocked by memory disambiguation (a conflicting
+    /// older store's address or data is unknown, or a partial overlap
+    /// cannot forward).
+    Disambiguation,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub fn all() -> &'static [StallCause] {
+        &[
+            StallCause::FetchStarved,
+            StallCause::WindowFull,
+            StallCause::OperandWait,
+            StallCause::BypassHole,
+            StallCause::ConversionWait,
+            StallCause::CacheMiss,
+            StallCause::Disambiguation,
+        ]
+    }
+
+    /// A stable kebab-case key (used in the JSON schema).
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::FetchStarved => "fetch-starved",
+            StallCause::WindowFull => "window-full",
+            StallCause::OperandWait => "operand-wait",
+            StallCause::BypassHole => "bypass-hole",
+            StallCause::ConversionWait => "conversion-wait",
+            StallCause::CacheMiss => "cache-miss",
+            StallCause::Disambiguation => "disambiguation",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            StallCause::FetchStarved => 0,
+            StallCause::WindowFull => 1,
+            StallCause::OperandWait => 2,
+            StallCause::BypassHole => 3,
+            StallCause::ConversionWait => 4,
+            StallCause::CacheMiss => 5,
+            StallCause::Disambiguation => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Where every issue slot of every cycle went: used, or charged to a
+/// [`StallCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    slots: [u64; 7],
+    /// Issue slots that actually issued an instruction.
+    pub used: u64,
+}
+
+impl StallBreakdown {
+    /// Charges `n` unused slots to a cause.
+    pub fn charge(&mut self, cause: StallCause, n: u64) {
+        self.slots[cause.index()] += n;
+    }
+
+    /// The slots charged to one cause.
+    pub fn count(&self, cause: StallCause) -> u64 {
+        self.slots[cause.index()]
+    }
+
+    /// Total slots charged to stall causes (excludes used slots).
+    pub fn charged(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Total slots accounted for: used + charged. Equals `cycles × width`
+    /// for a completed simulation.
+    pub fn total(&self) -> u64 {
+        self.used + self.charged()
+    }
+
+    /// The fraction (0–1) of *all* slots charged to one cause.
+    pub fn fraction(&self, cause: StallCause) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(cause) as f64 / total as f64
+        }
+    }
+}
 
 /// The four bypass cases of Figure 13: who produced the forwarded value and
 /// what kind of operation consumed it.
@@ -89,10 +214,12 @@ impl BypassCases {
 }
 
 /// Everything a simulation run reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,
+    /// Issue width of the simulated machine (slots per cycle).
+    pub width: u64,
     /// Retired (correct-path) instructions.
     pub retired: u64,
     /// Dynamic Table 1 classification of the retired stream.
@@ -125,6 +252,8 @@ pub struct SimStats {
     pub fidelity_checks: u64,
     /// Cycles in which no instruction could be selected anywhere.
     pub idle_issue_cycles: u64,
+    /// Per-slot stall-cause accounting (`used + charged == cycles × width`).
+    pub stall: StallBreakdown,
     /// Histogram of instructions fetched per cycle (index = count, 0..=8).
     pub fetch_hist: [u64; 9],
     /// Histogram of instructions dispatched per cycle.
@@ -169,6 +298,17 @@ impl SimStats {
         } else {
             self.bypass_cases.insts_with_bypass as f64 / self.retired as f64
         }
+    }
+
+    /// Total issue slots the run had (`cycles × width`).
+    pub fn total_slots(&self) -> u64 {
+        self.cycles * self.width
+    }
+
+    /// Checks the stall accounting invariant: every issue slot of every
+    /// cycle is either used or charged to exactly one cause.
+    pub fn stall_accounting_is_complete(&self) -> bool {
+        self.stall.total() == self.total_slots()
     }
 }
 
@@ -233,6 +373,38 @@ mod tests {
         assert!((hm - 4.0 / 3.0).abs() < 1e-12);
         // Harmonic ≤ arithmetic.
         assert!(hm < 1.5);
+    }
+
+    #[test]
+    fn stall_breakdown_accounts_every_slot() {
+        let mut s = StallBreakdown::default();
+        s.used = 10;
+        s.charge(StallCause::FetchStarved, 3);
+        s.charge(StallCause::BypassHole, 2);
+        s.charge(StallCause::BypassHole, 1);
+        assert_eq!(s.count(StallCause::BypassHole), 3);
+        assert_eq!(s.count(StallCause::WindowFull), 0);
+        assert_eq!(s.charged(), 6);
+        assert_eq!(s.total(), 16);
+        assert!((s.fraction(StallCause::FetchStarved) - 3.0 / 16.0).abs() < 1e-12);
+        let stats = SimStats {
+            cycles: 4,
+            width: 4,
+            stall: s,
+            ..Default::default()
+        };
+        assert!(stats.stall_accounting_is_complete());
+        assert_eq!(stats.total_slots(), 16);
+    }
+
+    #[test]
+    fn stall_cause_keys_are_stable_and_unique() {
+        let keys: Vec<&str> = StallCause::all().iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 7);
+        for (i, k) in keys.iter().enumerate() {
+            assert!(!keys[..i].contains(k), "duplicate key {k}");
+        }
+        assert_eq!(StallCause::ConversionWait.to_string(), "conversion-wait");
     }
 
     #[test]

@@ -1,32 +1,32 @@
 //! Property-based tests for the simulator's substrates: caches, banks,
 //! the store queue, and the bypass-availability model.
+//!
+//! Inputs come from `redbin-testkit`'s deterministic generator (the
+//! workspace builds offline, so there is no proptest); a failing case
+//! prints its seed for standalone reproduction.
 
-use proptest::prelude::*;
 use redbin_sim::bypass::{BypassModel, ResultTiming};
 use redbin_sim::cache::{Banks, Cache, Lookup, MemoryHierarchy};
 use redbin_sim::config::{BypassLevels, CoreModel, MachineConfig};
 use redbin_sim::lsq::{LoadDecision, StoreQueue};
+use redbin_testkit::{cases, Rng};
 
-fn any_machine() -> impl Strategy<Value = MachineConfig> {
-    (
-        prop::sample::select(vec![
-            CoreModel::Baseline,
-            CoreModel::RbLimited,
-            CoreModel::RbFull,
-            CoreModel::Ideal,
-        ]),
-        prop::sample::select(vec![4usize, 8]),
-        prop::bool::ANY,
-        prop::bool::ANY,
-        prop::bool::ANY,
-    )
-        .prop_map(|(model, width, l1, l2, l3)| {
-            MachineConfig::new(model, width).with_bypass(BypassLevels {
-                l1: l1 || (!l2 && !l3), // keep at least one level
-                l2,
-                l3,
-            })
-        })
+const CASES: usize = 1024;
+
+fn any_machine(r: &mut Rng) -> MachineConfig {
+    let model = *r.pick(&[
+        CoreModel::Baseline,
+        CoreModel::RbLimited,
+        CoreModel::RbFull,
+        CoreModel::Ideal,
+    ]);
+    let width = *r.pick(&[4usize, 8]);
+    let (l1, l2, l3) = (r.next_bool(), r.next_bool(), r.next_bool());
+    MachineConfig::new(model, width).with_bypass(BypassLevels {
+        l1: l1 || (!l2 && !l3), // keep at least one level
+        l2,
+        l3,
+    })
 }
 
 fn timing_for(model: CoreModel, ready: u64, rb: bool) -> ResultTiming {
@@ -39,78 +39,119 @@ fn timing_for(model: CoreModel, ready: u64, rb: bool) -> ResultTiming {
     }
 }
 
-proptest! {
-    #[test]
-    fn availability_is_continuous_from_rf_start(
-        cfg in any_machine(),
-        ready in 5u64..1000,
-        rb in prop::bool::ANY,
-        need_tc in prop::bool::ANY,
-        probe in 0u64..40,
-    ) {
+#[test]
+fn availability_is_continuous_from_rf_start() {
+    cases(CASES, 0x51, |r| {
+        let cfg = any_machine(r);
+        let ready = r.range_u64(5, 1000);
+        let rb = r.next_bool();
+        let need_tc = r.next_bool();
+        let probe = r.range_u64(0, 40);
         let m = BypassModel::new(&cfg);
-        let r = timing_for(cfg.model, ready, rb);
-        let rf = m.rf_start(&r, need_tc, 0);
-        prop_assert!(m.available(&r, need_tc, 0, rf + probe),
-            "must be available at rf_start {rf} + {probe}");
+        let t = timing_for(cfg.model, ready, rb);
+        let rf = m.rf_start(&t, need_tc, 0);
+        assert!(
+            m.available(&t, need_tc, 0, rf + probe),
+            "must be available at rf_start {rf} + {probe}"
+        );
         // Nothing is available at or before production.
-        prop_assert!(!m.available(&r, need_tc, 0, ready));
-    }
+        assert!(!m.available(&t, need_tc, 0, ready));
+    });
+}
 
-    #[test]
-    fn earliest_is_the_first_available_cycle(
-        cfg in any_machine(),
-        ready in 5u64..1000,
-        rb in prop::bool::ANY,
-        need_tc in prop::bool::ANY,
-        from in 0u64..1020,
-    ) {
+#[test]
+fn earliest_is_the_first_available_cycle() {
+    cases(CASES, 0x52, |r| {
+        let cfg = any_machine(r);
+        let ready = r.range_u64(5, 1000);
+        let rb = r.next_bool();
+        let need_tc = r.next_bool();
+        let from = r.range_u64(0, 1020);
         let m = BypassModel::new(&cfg);
-        let r = timing_for(cfg.model, ready, rb);
-        let e = m.earliest(&r, need_tc, 0, from);
-        prop_assert!(e >= from);
-        prop_assert!(m.available(&r, need_tc, 0, e));
+        let t = timing_for(cfg.model, ready, rb);
+        let e = m.earliest(&t, need_tc, 0, from);
+        assert!(e >= from);
+        assert!(m.available(&t, need_tc, 0, e));
         for c in from..e {
-            prop_assert!(!m.available(&r, need_tc, 0, c),
-                "cycle {c} available but earliest said {e}");
+            assert!(
+                !m.available(&t, need_tc, 0, c),
+                "cycle {c} available but earliest said {e}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn cross_cluster_never_arrives_earlier(
-        ready in 5u64..1000,
-        rb in prop::bool::ANY,
-        need_tc in prop::bool::ANY,
-        from in 0u64..1020,
-    ) {
+#[test]
+fn unavailable_reason_classifies_every_pre_available_cycle() {
+    use redbin_sim::bypass::UnavailableReason;
+    cases(CASES, 0x53, |r| {
+        let cfg = any_machine(r);
+        let ready = r.range_u64(5, 1000);
+        let rb = r.next_bool();
+        let need_tc = r.next_bool();
+        let m = BypassModel::new(&cfg);
+        let t = timing_for(cfg.model, ready, rb);
+        let rf = m.rf_start(&t, need_tc, 0);
+        for e in ready.saturating_sub(2)..rf + 3 {
+            let reason = m.unavailable_reason(&t, need_tc, 0, e);
+            assert_eq!(
+                reason.is_none(),
+                m.available(&t, need_tc, 0, e),
+                "reason/available must agree at cycle {e}"
+            );
+            // The result cannot be "in flight" after it exists.
+            if reason == Some(UnavailableReason::InFlight) {
+                assert!(e <= t.ready, "in-flight after production at {e}");
+            }
+            // Conversion waits only happen for redundant producers feeding
+            // 2's-complement consumers.
+            if reason == Some(UnavailableReason::ConversionWait) {
+                assert!(t.rb && need_tc);
+                assert!(e <= t.tc_ready);
+            }
+        }
+    });
+}
+
+#[test]
+fn cross_cluster_never_arrives_earlier() {
+    cases(CASES, 0x54, |r| {
+        let ready = r.range_u64(5, 1000);
+        let rb = r.next_bool();
+        let need_tc = r.next_bool();
+        let from = r.range_u64(0, 1020);
         let cfg = MachineConfig::rb_full(8);
         let m = BypassModel::new(&cfg);
-        let r = timing_for(cfg.model, ready, rb);
-        let local = m.earliest(&r, need_tc, 0, from);
-        let remote = m.earliest(&r, need_tc, 1, from);
-        prop_assert!(remote >= local);
-        prop_assert!(remote <= local + cfg.cluster_delay + 4,
-            "remote {remote} unreasonably far past local {local}");
-    }
-
-    #[test]
-    fn fewer_bypass_levels_never_help(
-        ready in 5u64..1000,
-        need_tc in prop::bool::ANY,
-        from in 0u64..1020,
-    ) {
-        let full = BypassModel::new(&MachineConfig::ideal(4));
-        let cut = BypassModel::new(
-            &MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2])),
+        let t = timing_for(cfg.model, ready, rb);
+        let local = m.earliest(&t, need_tc, 0, from);
+        let remote = m.earliest(&t, need_tc, 1, from);
+        assert!(remote >= local);
+        assert!(
+            remote <= local + cfg.cluster_delay + 4,
+            "remote {remote} unreasonably far past local {local}"
         );
-        let r = timing_for(CoreModel::Ideal, ready, false);
-        prop_assert!(cut.earliest(&r, need_tc, 0, from) >= full.earliest(&r, need_tc, 0, from));
-    }
+    });
+}
 
-    #[test]
-    fn cache_hits_after_fill_and_respects_capacity(
-        addrs in prop::collection::vec(0u64..(1 << 20), 1..200),
-    ) {
+#[test]
+fn fewer_bypass_levels_never_help() {
+    cases(CASES, 0x55, |r| {
+        let ready = r.range_u64(5, 1000);
+        let need_tc = r.next_bool();
+        let from = r.range_u64(0, 1020);
+        let full = BypassModel::new(&MachineConfig::ideal(4));
+        let cut =
+            BypassModel::new(&MachineConfig::ideal(4).with_bypass(BypassLevels::without(&[2])));
+        let t = timing_for(CoreModel::Ideal, ready, false);
+        assert!(cut.earliest(&t, need_tc, 0, from) >= full.earliest(&t, need_tc, 0, from));
+    });
+}
+
+#[test]
+fn cache_hits_after_fill_and_respects_capacity() {
+    cases(256, 0x56, |r| {
+        let n = r.range_usize(1, 200);
+        let addrs = r.vec(n, |r| r.range_u64(0, 1 << 20));
         let mut c = Cache::new(8 * 1024, 2, 64);
         for &a in &addrs {
             match c.access(a) {
@@ -119,32 +160,34 @@ proptest! {
             }
             // Immediately re-accessing the same line must hit (MRU).
             let hit = matches!(c.access(a), Lookup::Hit { .. });
-            prop_assert!(hit, "MRU line must hit");
+            assert!(hit, "MRU line must hit");
         }
-        prop_assert!(c.misses() <= c.accesses());
-    }
+        assert!(c.misses() <= c.accesses());
+    });
+}
 
-    #[test]
-    fn banks_start_times_are_feasible(
-        reqs in prop::collection::vec((0u64..(1 << 16), 0u64..500), 1..100),
-    ) {
+#[test]
+fn banks_start_times_are_feasible() {
+    cases(256, 0x57, |r| {
+        let n = r.range_usize(1, 100);
+        let mut reqs = r.vec(n, |r| (r.range_u64(0, 1 << 16), r.range_u64(0, 500)));
         let mut b = Banks::new(4, 3, 6);
         // Issue in nondecreasing time order, as the pipeline does.
-        let mut reqs = reqs;
         reqs.sort_by_key(|r| r.1);
         for (addr, cycle) in reqs {
             let start = b.schedule(addr, cycle);
-            prop_assert!(start >= cycle, "bank served before the request");
+            assert!(start >= cycle, "bank served before the request");
         }
-    }
+    });
+}
 
-    #[test]
-    fn store_queue_forwarding_is_sound(
-        store_addr in 0u64..256,
-        load_off in 0u64..16,
-        data_time in 1u64..100,
-        exec in 1u64..200,
-    ) {
+#[test]
+fn store_queue_forwarding_is_sound() {
+    cases(CASES, 0x58, |r| {
+        let store_addr = r.range_u64(0, 256);
+        let load_off = r.range_u64(0, 16);
+        let data_time = r.range_u64(1, 100);
+        let exec = r.range_u64(1, 200);
         let mut q = StoreQueue::new();
         q.dispatch(1);
         q.set_address(1, store_addr, 8, 1);
@@ -154,21 +197,26 @@ proptest! {
             LoadDecision::Forward(t) => {
                 // Only fully covered loads forward, and never before the
                 // data exists or the load executes.
-                prop_assert!(load_off == 0, "partial overlap must not forward");
-                prop_assert!(t > exec.max(data_time) - 1);
+                assert!(load_off == 0, "partial overlap must not forward");
+                assert!(t > exec.max(data_time) - 1);
             }
             LoadDecision::Blocked => {
-                prop_assert!(load_off > 0 && load_off < 8,
-                    "blocked requires a partial overlap here");
+                assert!(
+                    load_off > 0 && load_off < 8,
+                    "blocked requires a partial overlap here"
+                );
             }
             LoadDecision::Cache => {
-                prop_assert!(load_off >= 8, "disjoint loads go to the cache");
+                assert!(load_off >= 8, "disjoint loads go to the cache");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn hierarchy_latencies_are_ordered(addr in 0u64..(1 << 24)) {
+#[test]
+fn hierarchy_latencies_are_ordered() {
+    cases(CASES, 0x59, |r| {
+        let addr = r.range_u64(0, 1 << 24);
         let mut h = MemoryHierarchy::new(
             (64 * 1024, 4, 64, 2),
             (8 * 1024, 2, 64, 2),
@@ -177,7 +225,7 @@ proptest! {
         );
         let (cold, _) = h.access_data(addr, 0);
         let (warm, _) = h.access_data(addr, cold + 10);
-        prop_assert!(cold >= 102, "cold access goes to memory: {cold}");
-        prop_assert_eq!(warm, cold + 10 + 2, "warm access is an L1 hit");
-    }
+        assert!(cold >= 102, "cold access goes to memory: {cold}");
+        assert_eq!(warm, cold + 10 + 2, "warm access is an L1 hit");
+    });
 }

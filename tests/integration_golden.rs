@@ -1,0 +1,135 @@
+//! Golden-snapshot tests: the JSON serialization of two cheap experiments
+//! is compared byte-for-byte against checked-in files under
+//! `tests/golden/`. Any drift — in the simulator, the experiment drivers,
+//! or the JSON writer — fails the diff with enough context to review.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```sh
+//! REDBIN_REGEN_GOLDEN=1 cargo test --test integration_golden
+//! ```
+//!
+//! then inspect `git diff tests/golden/` before committing.
+
+use std::path::PathBuf;
+
+use redbin::experiments::{self, ExperimentConfig};
+use redbin::json;
+use redbin::workload::Suite;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn quick_config() -> ExperimentConfig {
+    // Test scale, fixed settings: thread count must not matter (run_jobs
+    // preserves order), which `determinism_across_thread_counts` checks.
+    ExperimentConfig::quick()
+}
+
+/// Renders `figure_ipc(8, Spec95)` at test scale — the first golden.
+fn render_figure_ipc() -> String {
+    let fig = experiments::figure_ipc(8, Suite::Spec95, &quick_config());
+    json::ipc_figure(&fig).to_pretty()
+}
+
+/// Renders `figure13` at test scale — the second golden.
+fn render_figure13() -> String {
+    let fig = experiments::figure13(&quick_config());
+    json::figure13(&fig).to_pretty()
+}
+
+/// First line where two documents differ, with context for the failure
+/// message.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: expected `{la}`, got `{lb}`", i + 1);
+        }
+    }
+    format!(
+        "lengths differ: expected {} lines, got {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("REDBIN_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, rendered).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with REDBIN_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == rendered,
+        "golden mismatch for {name}: {}\n\
+         If the change is intentional, regenerate with REDBIN_REGEN_GOLDEN=1 \
+         and review `git diff tests/golden/`.",
+        first_diff(&expected, rendered)
+    );
+}
+
+#[test]
+fn figure_ipc_w8_spec95_matches_golden() {
+    check_golden("figure_ipc_w8_spec95_test.json", &render_figure_ipc());
+}
+
+#[test]
+fn figure13_matches_golden() {
+    check_golden("figure13_test.json", &render_figure13());
+}
+
+#[test]
+fn rendering_is_deterministic_run_to_run() {
+    // Two full runs in the same process: the simulators, the thread pool,
+    // and the float formatting must all be reproducible.
+    assert_eq!(render_figure_ipc(), render_figure_ipc());
+    assert_eq!(render_figure13(), render_figure13());
+}
+
+#[test]
+fn determinism_across_thread_counts() {
+    // `run_jobs` preserves result order regardless of the worker count, so
+    // the document must not depend on parallelism.
+    let mut one = quick_config();
+    one.threads = 1;
+    let mut many = quick_config();
+    many.threads = 8;
+    let a = json::ipc_figure(&experiments::figure_ipc(8, Suite::Spec95, &one)).to_pretty();
+    let b = json::ipc_figure(&experiments::figure_ipc(8, Suite::Spec95, &many)).to_pretty();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn goldens_are_valid_json_with_complete_stall_accounting() {
+    let text = render_figure_ipc();
+    let doc = json::parse(&text).expect("golden parses");
+    let rows = doc.get("rows").and_then(json::Json::as_array).expect("rows");
+    assert_eq!(rows.len(), 8, "SPECint95 has 8 benchmarks");
+    for row in rows {
+        let stats = row.get("stats").expect("stats per model");
+        let json::Json::Obj(models) = stats else {
+            panic!("stats is an object")
+        };
+        assert_eq!(models.len(), 4);
+        for (model, s) in models {
+            let stall = s.get("stall").expect("stall");
+            let used = stall.get("used").and_then(json::Json::as_u64).unwrap();
+            let charged = stall.get("charged").and_then(json::Json::as_u64).unwrap();
+            let total = stall.get("total-slots").and_then(json::Json::as_u64).unwrap();
+            assert_eq!(
+                used + charged,
+                total,
+                "{model}: stall accounting must cover every slot"
+            );
+        }
+    }
+}
