@@ -1,32 +1,123 @@
 //! Shared plumbing for the `repro-*` binaries.
+//!
+//! All binaries accept the same flags, parsed strictly — an unknown flag
+//! or a bad value exits non-zero instead of being silently ignored:
+//!
+//! * `--scale test|small|full` (or `REDBIN_SCALE`) — workload size;
+//! * `--json PATH` — write the machine-readable result document;
+//! * `--server HOST:PORT` (or `REDBIN_SERVER`) — client mode: supported
+//!   binaries submit their experiments to a running `redbin-served`
+//!   instead of simulating locally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use redbin::prelude::*;
 
-/// Parses the workload scale from argv (`--scale test|small|full`) or the
-/// `REDBIN_SCALE` environment variable; defaults to `full`, the paper's
-/// run-to-completion setting.
+/// The flags shared by every repro binary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Workload scale (`None` = the paper's `full`).
+    pub scale: Option<Scale>,
+    /// Where to write the JSON result, if requested.
+    pub json: Option<std::path::PathBuf>,
+    /// `redbin-served` address for client mode, if requested.
+    pub server: Option<String>,
+}
+
+impl BenchArgs {
+    /// The effective scale (CLI > `REDBIN_SCALE` > `full`).
+    pub fn effective_scale(&self) -> Scale {
+        self.scale.unwrap_or(Scale::Full)
+    }
+}
+
+/// Parses a scale name.
+///
+/// # Errors
+///
+/// Names the accepted values on anything unrecognized.
+pub fn parse_scale(value: &str) -> Result<Scale, String> {
+    match value {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale `{other}` (expected test|small|full)")),
+    }
+}
+
+/// Strictly parses a repro binary's argument list (without the program
+/// name). Unknown flags are errors — a typo like `--sclae` must not
+/// silently run the full-size default for hours.
+///
+/// # Errors
+///
+/// Returns a usage-style message naming the offending argument.
+pub fn parse_cli(args: &[String]) -> Result<BenchArgs, String> {
+    let mut out = BenchArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (a.as_str(), None),
+        };
+        let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value")),
+            }
+        };
+        match flag {
+            "--scale" => out.scale = Some(parse_scale(&value(&mut it)?)?),
+            "--json" => out.json = Some(std::path::PathBuf::from(value(&mut it)?)),
+            "--server" => out.server = Some(value(&mut it)?),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --scale, --json or --server)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses argv + environment, exiting with status 2 and a message on any
+/// invalid input (the strict behavior the PR-2 satellite requires).
+pub fn cli_args() -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = match parse_cli(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.scale.is_none() {
+        if let Ok(env_scale) = std::env::var("REDBIN_SCALE") {
+            match parse_scale(&env_scale) {
+                Ok(s) => args.scale = Some(s),
+                Err(e) => {
+                    eprintln!("error: REDBIN_SCALE: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if args.server.is_none() {
+        if let Ok(addr) = std::env::var("REDBIN_SERVER") {
+            args.server = Some(addr);
+        }
+    }
+    args
+}
+
+/// The workload scale from argv/environment (strict; exits non-zero on
+/// unknown scales or unrecognized flags).
 pub fn scale_from_args() -> Scale {
-    let mut args = std::env::args().skip(1);
-    let mut value = std::env::var("REDBIN_SCALE").ok();
-    while let Some(a) = args.next() {
-        if a == "--scale" {
-            value = args.next();
-        } else if let Some(v) = a.strip_prefix("--scale=") {
-            value = Some(v.to_string());
-        }
-    }
-    match value.as_deref() {
-        Some("test") => Scale::Test,
-        Some("small") => Scale::Small,
-        Some("full") | None => Scale::Full,
-        Some(other) => {
-            eprintln!("unknown scale `{other}` (expected test|small|full); using full");
-            Scale::Full
-        }
-    }
+    cli_args().effective_scale()
 }
 
 /// The standard experiment configuration for the repro binaries.
@@ -37,19 +128,10 @@ pub fn experiment_config() -> ExperimentConfig {
     }
 }
 
-/// Parses `--json <path>` (or `--json=<path>`) from argv: where to write
-/// the machine-readable result alongside the text report.
+/// `--json PATH` from argv, if given (strict parse; exits non-zero on
+/// invalid argv).
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    let mut value = None;
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            value = args.next();
-        } else if let Some(v) = a.strip_prefix("--json=") {
-            value = Some(v.to_string());
-        }
-    }
-    value.map(std::path::PathBuf::from)
+    cli_args().json
 }
 
 /// If `--json` was given, wraps `body` with run metadata (schema version,
@@ -88,4 +170,43 @@ pub fn figure_instructions(fig: &redbin::experiments::IpcFigure) -> u64 {
         .flat_map(|r| r.stats.iter())
         .map(|s| s.retired)
         .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags_in_both_spellings() {
+        let a = parse_cli(&argv(&["--scale", "test", "--json", "out.json"])).unwrap();
+        assert_eq!(a.scale, Some(Scale::Test));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        let b = parse_cli(&argv(&["--scale=small", "--server=127.0.0.1:7878"])).unwrap();
+        assert_eq!(b.scale, Some(Scale::Small));
+        assert_eq!(b.server.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(parse_cli(&[]).unwrap(), BenchArgs::default());
+        assert_eq!(parse_cli(&[]).unwrap().effective_scale(), Scale::Full);
+    }
+
+    #[test]
+    fn unknown_scales_are_errors_not_full_fallback() {
+        // The old behavior warned and silently ran `full`; this is the
+        // regression test that it now fails instead.
+        let e = parse_cli(&argv(&["--scale", "huge"])).unwrap_err();
+        assert!(e.contains("unknown scale"), "{e}");
+        assert!(parse_scale("FULL").is_err(), "names are case-sensitive");
+        assert!(parse_cli(&argv(&["--scale"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn unrecognized_flags_are_rejected() {
+        let e = parse_cli(&argv(&["--sclae", "test"])).unwrap_err();
+        assert!(e.contains("unknown argument"), "{e}");
+        assert!(parse_cli(&argv(&["stray"])).is_err());
+        assert!(parse_cli(&argv(&["--json=a", "--frobnicate"])).is_err());
+    }
 }

@@ -6,9 +6,6 @@
 //! over these functions, so library users can regenerate any figure
 //! programmatically.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use redbin_isa::class::LatencyClass;
 use redbin_isa::format::Table1Counts;
 use redbin_isa::{Emulator, Opcode};
@@ -17,6 +14,8 @@ use redbin_sim::{
     BypassLevels, CoreModel, DatapathMode, MachineConfig, SimStats, Simulator, SteeringPolicy,
 };
 use redbin_workload::{Benchmark, Scale, Suite};
+
+use crate::pool::run_jobs;
 
 /// Global settings for an experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -50,39 +49,33 @@ impl ExperimentConfig {
             ..Default::default()
         }
     }
-}
 
-/// Runs `n` independent jobs on a small thread pool, preserving order.
-///
-/// # Panics
-///
-/// Propagates panics from the job function.
-fn run_jobs<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let workers = threads.clamp(1, n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                results.lock().expect("poisoned")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|o| o.expect("job completed"))
-        .collect()
+    /// Folds the result-affecting fields into `h` in canonical order.
+    ///
+    /// Deliberately excludes `threads`: the worker count changes wall-clock
+    /// time but never the result ([`crate::pool::run_jobs`] preserves
+    /// order), so two runs differing only in parallelism share a cache key.
+    pub fn fold_canonical(&self, h: &mut redbin_sim::hash::Fnv64) {
+        h.write_tag(0xB0); // domain tag: ExperimentConfig
+        h.write_tag(match self.scale {
+            Scale::Test => 0,
+            Scale::Small => 1,
+            Scale::Full => 2,
+        });
+        h.write_tag(match self.datapath {
+            DatapathMode::Fast => 0,
+            DatapathMode::Faithful => 1,
+        });
+    }
+
+    /// A stable, platform-independent FNV-1a fingerprint of the
+    /// result-affecting experiment settings (scale, datapath — not
+    /// `threads`; see [`Self::fold_canonical`]).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = redbin_sim::hash::Fnv64::new();
+        self.fold_canonical(&mut h);
+        h.finish()
+    }
 }
 
 /// Runs one benchmark on one machine and returns its statistics.
@@ -504,8 +497,16 @@ mod tests {
     }
 
     #[test]
-    fn run_jobs_preserves_order() {
-        let out = run_jobs(10, 4, |i| i * i);
-        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    fn canonical_hash_separates_scales_but_not_threads() {
+        let quick = ExperimentConfig::quick();
+        let mut more_threads = quick;
+        more_threads.threads = quick.threads + 7;
+        assert_eq!(quick.canonical_hash(), more_threads.canonical_hash());
+        let mut full = quick;
+        full.scale = Scale::Full;
+        assert_ne!(quick.canonical_hash(), full.canonical_hash());
+        let mut faithful = quick;
+        faithful.datapath = DatapathMode::Faithful;
+        assert_ne!(quick.canonical_hash(), faithful.canonical_hash());
     }
 }

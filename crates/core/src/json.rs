@@ -112,6 +112,52 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no whitespace — the framing used by
+    /// the newline-delimited wire protocol ([`crate::wire`]), where one
+    /// document occupies exactly one line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -223,7 +269,17 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses a JSON document (strict: exactly one value plus whitespace).
+/// Maximum container nesting depth the parser accepts.
+///
+/// The parser is recursive, and since PR 2 it sits on a network boundary
+/// (the `redbin-served` wire protocol), so unbounded nesting would let a
+/// hostile peer overflow the stack with a few kilobytes of `[[[[…`. No
+/// legitimate redbin document nests anywhere near this deep.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document (strict: exactly one value plus whitespace,
+/// container nesting limited to [`MAX_DEPTH`], duplicate object keys
+/// rejected).
 ///
 /// # Errors
 ///
@@ -231,7 +287,7 @@ impl std::error::Error for ParseError {}
 pub fn parse(text: &str) -> Result<Json, ParseError> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing content"));
@@ -261,17 +317,25 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_lit(b, pos, "null", Json::Null),
         Some(_) => parse_number(b, pos),
+    }
+}
+
+fn check_depth(at: usize, depth: usize) -> Result<(), ParseError> {
+    if depth >= MAX_DEPTH {
+        Err(err(at, "nesting too deep"))
+    } else {
+        Ok(())
     }
 }
 
@@ -284,9 +348,10 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, Pars
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
+    check_depth(*pos, depth)?;
     expect(b, pos, b'{')?;
-    let mut pairs = Vec::new();
+    let mut pairs: Vec<(String, Json)> = Vec::new();
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
@@ -294,10 +359,16 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     }
     loop {
         skip_ws(b, pos);
+        let key_at = *pos;
         let key = parse_string(b, pos)?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            // Our writer never emits duplicates; accepting them on a
+            // network boundary would make lookups ambiguous.
+            return Err(err(key_at, "duplicate object key"));
+        }
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -311,7 +382,8 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
+    check_depth(*pos, depth)?;
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -320,7 +392,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -748,6 +820,45 @@ mod tests {
         let mut s = String::new();
         write_f64(&mut s, f64::INFINITY);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn compact_roundtrips_and_is_one_line() {
+        let doc = obj(vec![
+            ("a", Json::UInt(7)),
+            ("b", Json::Num(1.5)),
+            ("c", Json::Str("x\n\"y\"".into())),
+            ("d", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+            ("e", Json::object()),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "compact form must be newline-free");
+        assert_eq!(parse(&line).expect("parses"), doc);
+        assert_eq!(
+            line,
+            r#"{"a":7,"b":1.5,"c":"x\n\"y\"","d":[null,false],"e":{}}"#
+        );
+    }
+
+    #[test]
+    fn parser_enforces_depth_limit() {
+        // MAX_DEPTH nested arrays parse; one more level errors instead of
+        // overflowing the stack.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH - 1), "]".repeat(MAX_DEPTH - 1));
+        assert!(parse(&ok).is_ok());
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let e = parse(&deep).expect_err("too deep");
+        assert!(e.message.contains("deep"), "{e}");
+        // Unclosed deep nesting must also error, not crash.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"k\":[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys() {
+        let e = parse(r#"{"a":1,"a":2}"#).expect_err("duplicate");
+        assert!(e.message.contains("duplicate"), "{e}");
+        assert!(parse(r#"{"a":{"a":1},"b":{"a":2}}"#).is_ok());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`report`] — plain-text rendering of experiment results.
 //! * [`json`] — dependency-free structured JSON output for every experiment
 //!   (the `--json` flag of the `repro-*` binaries).
+//! * [`pool`] — the scoped worker pool behind the parallel fan-out (shared
+//!   with the `redbin-serve` batch service).
+//! * [`wire`] — newline-delimited request/response envelopes for the
+//!   `redbin-served` job server and its clients.
 //!
 //! # Quickstart
 //!
@@ -45,7 +49,9 @@ pub use redbin_workload as workload;
 
 pub mod experiments;
 pub mod json;
+pub mod pool;
 pub mod report;
+pub mod wire;
 
 /// The most common imports, bundled.
 pub mod prelude {

@@ -1,0 +1,109 @@
+//! A small scoped worker pool for embarrassingly parallel job fan-out.
+//!
+//! Extracted from the experiment drivers so the serving layer
+//! (`redbin-serve`) and any other batch consumer can share one
+//! implementation. The pool is deliberately simple: scoped threads pull
+//! job indices from an atomic counter, so results are deterministic in
+//! content and order regardless of the worker count — a property the
+//! golden-snapshot tests rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `n` independent jobs on a small thread pool, preserving order.
+///
+/// `f(i)` is called exactly once for each `i in 0..n`, from `threads`
+/// workers (clamped to `1..=n`). The returned vector has `f(i)` at index
+/// `i` — output order never depends on scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from the job function: if any `f(i)` panics, the
+/// panic resurfaces on the caller's thread once the scope joins (no
+/// deadlock, no silently missing results).
+pub fn run_jobs<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                // A worker that panicked inside `f` poisons this mutex;
+                // surviving workers unwind too (via the expect) and the
+                // scope re-raises the original panic at join.
+                results.lock().expect("a sibling job panicked")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("a job panicked")
+        .into_iter()
+        .map(|o| o.expect("job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_every_worker_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_jobs(10, threads, |i| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+        }
+    }
+
+    #[test]
+    fn runs_each_job_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_jobs(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_jobs(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate_without_deadlock() {
+        // The regression of interest: a panicking job must fail the whole
+        // call promptly (scope join re-raises), not hang the pool or
+        // return a partial result vector.
+        let result = std::panic::catch_unwind(|| {
+            run_jobs(8, 4, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("exploded") || msg.contains("panicked"),
+            "unexpected panic payload: {msg:?}"
+        );
+    }
+}

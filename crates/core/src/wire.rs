@@ -1,0 +1,803 @@
+//! Request/response envelopes for the `redbin-served` batch service.
+//!
+//! The protocol is newline-delimited JSON over TCP: each request and each
+//! response is one [`Json`] document rendered with [`Json::to_compact`]
+//! (single line) followed by `\n`. Every envelope carries the protocol
+//! version under `"v"`; unknown versions and malformed envelopes are
+//! rejected, never guessed at. See `SERVING.md` for the full protocol.
+//!
+//! The module also defines [`JobSpec`] — the unit of work a server
+//! executes — and its **content-addressed identity**: [`JobSpec::canonical_key`]
+//! folds the fully-resolved [`ExperimentConfig`], every [`MachineConfig`]
+//! the experiment instantiates, and the workload scale through the
+//! canonical FNV hasher ([`redbin_sim::hash::Fnv64`]). Two submissions
+//! with equal keys are the same computation, so the server can serve the
+//! second from cache byte-identically.
+
+use redbin_sim::hash::Fnv64;
+use redbin_sim::{DatapathMode, MachineConfig};
+use redbin_workload::{Scale, Suite};
+
+use crate::experiments::{self, ExperimentConfig};
+use crate::json::{self, Json};
+
+/// Version of the wire protocol this module speaks.
+pub const WIRE_VERSION: u64 = 1;
+
+/// An error raised while decoding an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// The canonical lowercase name of a scale on the wire.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Parses a wire scale name.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the accepted values on anything else.
+pub fn scale_from_name(name: &str) -> Result<Scale, WireError> {
+    match name {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(wire_err(format!(
+            "unknown scale `{other}` (expected test|small|full)"
+        ))),
+    }
+}
+
+/// The experiments a server can run as batch jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentKind {
+    /// Figure 9: 8-wide, SPECint2000.
+    Figure9,
+    /// Figure 10: 8-wide, SPECint95.
+    Figure10,
+    /// Figure 11: 4-wide, SPECint2000.
+    Figure11,
+    /// Figure 12: 4-wide, SPECint95.
+    Figure12,
+    /// Figure 13: bypass-case distribution.
+    Figure13,
+    /// Figure 14: limited-bypass sweep.
+    Figure14,
+    /// Table 1: dynamic instruction mix.
+    Table1,
+    /// Table 3: latency table consistency check.
+    Table3,
+    /// §3.4 gate-level delay report.
+    Delays,
+    /// A synthetic job that sleeps: used for load, deadline and shutdown
+    /// testing without burning CPU (see `SERVING.md`).
+    Sleep,
+}
+
+impl ExperimentKind {
+    /// Every kind, in wire-name order.
+    pub fn all() -> &'static [ExperimentKind] {
+        &[
+            ExperimentKind::Figure9,
+            ExperimentKind::Figure10,
+            ExperimentKind::Figure11,
+            ExperimentKind::Figure12,
+            ExperimentKind::Figure13,
+            ExperimentKind::Figure14,
+            ExperimentKind::Table1,
+            ExperimentKind::Table3,
+            ExperimentKind::Delays,
+            ExperimentKind::Sleep,
+        ]
+    }
+
+    /// The wire name (`"figure9"`, `"table1"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentKind::Figure9 => "figure9",
+            ExperimentKind::Figure10 => "figure10",
+            ExperimentKind::Figure11 => "figure11",
+            ExperimentKind::Figure12 => "figure12",
+            ExperimentKind::Figure13 => "figure13",
+            ExperimentKind::Figure14 => "figure14",
+            ExperimentKind::Table1 => "table1",
+            ExperimentKind::Table3 => "table3",
+            ExperimentKind::Delays => "delays",
+            ExperimentKind::Sleep => "sleep",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for names no server understands.
+    pub fn from_name(name: &str) -> Result<Self, WireError> {
+        Self::all()
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| wire_err(format!("unknown experiment `{name}`")))
+    }
+
+    /// The canonical one-byte tag folded into the cache key.
+    fn canonical_tag(self) -> u8 {
+        match self {
+            ExperimentKind::Figure9 => 9,
+            ExperimentKind::Figure10 => 10,
+            ExperimentKind::Figure11 => 11,
+            ExperimentKind::Figure12 => 12,
+            ExperimentKind::Figure13 => 13,
+            ExperimentKind::Figure14 => 14,
+            ExperimentKind::Table1 => 1,
+            ExperimentKind::Table3 => 3,
+            ExperimentKind::Delays => 34,
+            ExperimentKind::Sleep => 200,
+        }
+    }
+}
+
+/// One unit of server work: an experiment at a scale/datapath, or a
+/// synthetic sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: ExperimentKind,
+    /// Workload scale (ignored by `Delays`, `Table3` and `Sleep`, but
+    /// still part of the identity so clients see consistent semantics).
+    pub scale: Scale,
+    /// Datapath fidelity mode.
+    pub datapath: DatapathMode,
+    /// Milliseconds to sleep — only meaningful for [`ExperimentKind::Sleep`].
+    pub sleep_ms: u64,
+}
+
+impl JobSpec {
+    /// A job for `kind` at `scale` with the fast datapath.
+    pub fn new(kind: ExperimentKind, scale: Scale) -> Self {
+        JobSpec {
+            kind,
+            scale,
+            datapath: DatapathMode::Fast,
+            sleep_ms: 0,
+        }
+    }
+
+    /// A synthetic sleep job.
+    pub fn sleep(millis: u64) -> Self {
+        JobSpec {
+            kind: ExperimentKind::Sleep,
+            scale: Scale::Test,
+            datapath: DatapathMode::Fast,
+            sleep_ms: millis,
+        }
+    }
+
+    /// The [`ExperimentConfig`] this job resolves to on a server running
+    /// `threads` workers per job.
+    pub fn experiment_config(&self, threads: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            scale: self.scale,
+            threads,
+            datapath: self.datapath,
+        }
+    }
+
+    /// Every machine configuration the experiment instantiates — the
+    /// machine half of the content address.
+    pub fn machine_configs(&self) -> Vec<MachineConfig> {
+        let four_models = |width: usize| -> Vec<MachineConfig> {
+            redbin_sim::CoreModel::all()
+                .iter()
+                .map(|&m| MachineConfig::new(m, width).with_datapath(self.datapath))
+                .collect()
+        };
+        match self.kind {
+            ExperimentKind::Figure9 | ExperimentKind::Figure10 => four_models(8),
+            ExperimentKind::Figure11 | ExperimentKind::Figure12 => four_models(4),
+            ExperimentKind::Figure13 => {
+                vec![MachineConfig::rb_full(8).with_datapath(self.datapath)]
+            }
+            ExperimentKind::Figure14 => {
+                let mut out = Vec::new();
+                for levels in experiments::figure14_configs() {
+                    for width in [4usize, 8] {
+                        out.push(
+                            MachineConfig::ideal(width)
+                                .with_bypass(levels)
+                                .with_datapath(self.datapath),
+                        );
+                    }
+                }
+                out
+            }
+            ExperimentKind::Table3 => vec![
+                MachineConfig::baseline(8),
+                MachineConfig::rb_full(8),
+                MachineConfig::ideal(8),
+            ],
+            // Emulator-only / gate-level / synthetic: no timing machine.
+            ExperimentKind::Table1 | ExperimentKind::Delays | ExperimentKind::Sleep => Vec::new(),
+        }
+    }
+
+    /// The content address of this job: a canonical FNV-1a fold of the
+    /// experiment kind, the fully-resolved [`ExperimentConfig`] (minus the
+    /// worker count, which cannot affect results), every [`MachineConfig`]
+    /// the experiment instantiates, and the workload scale.
+    pub fn canonical_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_tag(0xC0); // domain tag: JobSpec
+        h.write_tag(self.kind.canonical_tag());
+        // Threads never affect the result; pick a fixed value so every
+        // server computes the same key.
+        self.experiment_config(1).fold_canonical(&mut h);
+        let machines = self.machine_configs();
+        h.write_usize(machines.len());
+        for m in &machines {
+            m.fold_canonical(&mut h);
+        }
+        if self.kind == ExperimentKind::Sleep {
+            h.write_u64(self.sleep_ms);
+        }
+        h.finish()
+    }
+
+    /// The cache key in its wire form: 16 lowercase hex digits. Doubles as
+    /// the job id — the protocol is content-addressed end to end.
+    pub fn job_id(&self) -> String {
+        format!("{:016x}", self.canonical_key())
+    }
+
+    /// Serializes the spec for a `submit` envelope.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("experiment", Json::Str(self.kind.name().to_string()));
+        o.set("scale", Json::Str(scale_name(self.scale).to_string()));
+        o.set(
+            "datapath",
+            Json::Str(
+                match self.datapath {
+                    DatapathMode::Fast => "fast",
+                    DatapathMode::Faithful => "faithful",
+                }
+                .to_string(),
+            ),
+        );
+        if self.kind == ExperimentKind::Sleep {
+            o.set("millis", Json::UInt(self.sleep_ms));
+        }
+        o
+    }
+
+    /// Decodes a spec from a `submit` envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on missing/unknown fields.
+    pub fn from_json(v: &Json) -> Result<Self, WireError> {
+        let kind = ExperimentKind::from_name(
+            v.get("experiment")
+                .and_then(Json::as_str)
+                .ok_or_else(|| wire_err("job spec missing `experiment`"))?,
+        )?;
+        let scale = match v.get("scale").and_then(Json::as_str) {
+            Some(s) => scale_from_name(s)?,
+            None => Scale::Test,
+        };
+        let datapath = match v.get("datapath").and_then(Json::as_str) {
+            Some("fast") | None => DatapathMode::Fast,
+            Some("faithful") => DatapathMode::Faithful,
+            Some(other) => {
+                return Err(wire_err(format!(
+                    "unknown datapath `{other}` (expected fast|faithful)"
+                )))
+            }
+        };
+        let sleep_ms = v.get("millis").and_then(Json::as_u64).unwrap_or(0);
+        Ok(JobSpec {
+            kind,
+            scale,
+            datapath,
+            sleep_ms,
+        })
+    }
+
+    /// Runs the job and returns its result body — exactly the document the
+    /// matching `repro-*` binary would emit under `"result"`.
+    ///
+    /// `cancelled` is polled by cancellable kinds (currently [`ExperimentKind::Sleep`],
+    /// every 10 ms); simulator experiments run to completion once started —
+    /// deadline enforcement for those happens at dequeue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation faults (propagated to the worker, which
+    /// reports the job as failed).
+    pub fn run(&self, threads: usize, cancelled: &std::sync::atomic::AtomicBool) -> Json {
+        use std::sync::atomic::Ordering;
+        let cfg = self.experiment_config(threads);
+        match self.kind {
+            ExperimentKind::Figure9 => json::ipc_figure(&experiments::figure9(&cfg)),
+            ExperimentKind::Figure10 => json::ipc_figure(&experiments::figure10(&cfg)),
+            ExperimentKind::Figure11 => json::ipc_figure(&experiments::figure11(&cfg)),
+            ExperimentKind::Figure12 => json::ipc_figure(&experiments::figure12(&cfg)),
+            ExperimentKind::Figure13 => json::figure13(&experiments::figure13(&cfg)),
+            ExperimentKind::Figure14 => json::figure14(&experiments::figure14(&cfg)),
+            ExperimentKind::Table1 => {
+                let (merged, per) = experiments::table1(&cfg);
+                json::table1(&merged, &per)
+            }
+            ExperimentKind::Table3 => json::table3(&experiments::table3()),
+            ExperimentKind::Delays => json::delay_report(&experiments::delay_report()),
+            ExperimentKind::Sleep => {
+                let mut remaining = self.sleep_ms;
+                while remaining > 0 && !cancelled.load(Ordering::Relaxed) {
+                    let step = remaining.min(10);
+                    std::thread::sleep(std::time::Duration::from_millis(step));
+                    remaining -= step;
+                }
+                let mut o = Json::object();
+                o.set("slept-ms", Json::UInt(self.sleep_ms - remaining));
+                o.set("cancelled", Json::Bool(cancelled.load(Ordering::Relaxed)));
+                o
+            }
+        }
+    }
+
+    /// The Spec suite behind an IPC figure, if any (used for reporting).
+    pub fn suite(&self) -> Option<Suite> {
+        match self.kind {
+            ExperimentKind::Figure9 | ExperimentKind::Figure11 => Some(Suite::Spec2000),
+            ExperimentKind::Figure10 | ExperimentKind::Figure12 => Some(Suite::Spec95),
+            _ => None,
+        }
+    }
+}
+
+/// Where a job stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the result is in the cache.
+    Done,
+    /// The job function panicked.
+    Failed,
+    /// The deadline passed before a worker could start (or finish) it.
+    Expired,
+}
+
+impl JobState {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Expired => "expired",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on unknown states.
+    pub fn from_name(name: &str) -> Result<Self, WireError> {
+        match name {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            "expired" => Ok(JobState::Expired),
+            other => Err(wire_err(format!("unknown job state `{other}`"))),
+        }
+    }
+
+    /// `true` once the job will make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Expired)
+    }
+}
+
+/// A client→server envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job, optionally with a deadline in milliseconds from
+    /// acceptance.
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+        /// Deadline in milliseconds (None = server default).
+        deadline_ms: Option<u64>,
+    },
+    /// Ask for a job's state.
+    Poll {
+        /// The job id ([`JobSpec::job_id`]).
+        job: String,
+    },
+    /// Fetch a completed job's result body.
+    Fetch {
+        /// The job id.
+        job: String,
+    },
+    /// Ask for server statistics.
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to a one-line wire envelope (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut o = Json::object();
+        o.set("v", Json::UInt(WIRE_VERSION));
+        match self {
+            Request::Submit { spec, deadline_ms } => {
+                o.set("type", Json::Str("submit".into()));
+                o.set("job", spec.to_json());
+                if let Some(ms) = deadline_ms {
+                    o.set("deadline-ms", Json::UInt(*ms));
+                }
+            }
+            Request::Poll { job } => {
+                o.set("type", Json::Str("poll".into()));
+                o.set("job", Json::Str(job.clone()));
+            }
+            Request::Fetch { job } => {
+                o.set("type", Json::Str("fetch".into()));
+                o.set("job", Json::Str(job.clone()));
+            }
+            Request::Stats => {
+                o.set("type", Json::Str("stats".into()));
+            }
+            Request::Shutdown => {
+                o.set("type", Json::Str("shutdown".into()));
+            }
+        }
+        o.to_compact()
+    }
+
+    /// Decodes a wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed JSON, wrong version, or an
+    /// unknown request type.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let v = json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
+        check_version(&v)?;
+        let job_str = |v: &Json| -> Result<String, WireError> {
+            v.get("job")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| wire_err("missing `job` id"))
+        };
+        match v.get("type").and_then(Json::as_str) {
+            Some("submit") => {
+                let spec = JobSpec::from_json(
+                    v.get("job").ok_or_else(|| wire_err("missing `job` spec"))?,
+                )?;
+                let deadline_ms = v.get("deadline-ms").and_then(Json::as_u64);
+                Ok(Request::Submit { spec, deadline_ms })
+            }
+            Some("poll") => Ok(Request::Poll { job: job_str(&v)? }),
+            Some("fetch") => Ok(Request::Fetch { job: job_str(&v)? }),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(wire_err(format!("unknown request type `{other}`"))),
+            None => Err(wire_err("missing request `type`")),
+        }
+    }
+}
+
+fn check_version(v: &Json) -> Result<(), WireError> {
+    match v.get("v").and_then(Json::as_u64) {
+        Some(WIRE_VERSION) => Ok(()),
+        Some(other) => Err(wire_err(format!(
+            "unsupported wire version {other} (this build speaks {WIRE_VERSION})"
+        ))),
+        None => Err(wire_err("missing wire version `v`")),
+    }
+}
+
+/// A server→client envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was accepted (or found already cached/in flight).
+    Accepted {
+        /// The job id to poll/fetch with.
+        job: String,
+        /// `true` if the result was already in the cache at submit time.
+        cache_hit: bool,
+        /// Current state (`Done` for a cache hit).
+        state: JobState,
+    },
+    /// Backpressure: the queue is full; retry after the given delay.
+    RetryAfter {
+        /// Suggested delay before resubmitting.
+        seconds: u64,
+    },
+    /// A poll answer.
+    Status {
+        /// The job id.
+        job: String,
+        /// Current state.
+        state: JobState,
+        /// The failure message, for [`JobState::Failed`] / [`JobState::Expired`].
+        error: Option<String>,
+    },
+    /// A fetched result.
+    Result {
+        /// The job id.
+        job: String,
+        /// The result body — byte-identical for every fetch of the same id.
+        body: Json,
+    },
+    /// Server statistics.
+    Stats {
+        /// The statistics document (see `SERVING.md`).
+        body: Json,
+    },
+    /// The request could not be honored.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Acknowledges a shutdown; the server drains and exits after sending.
+    Bye {
+        /// Jobs that were still queued or running when shutdown began
+        /// (all of them are drained before exit).
+        draining: u64,
+    },
+}
+
+impl Response {
+    /// Serializes to a one-line wire envelope (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut o = Json::object();
+        o.set("v", Json::UInt(WIRE_VERSION));
+        match self {
+            Response::Accepted { job, cache_hit, state } => {
+                o.set("type", Json::Str("accepted".into()));
+                o.set("job", Json::Str(job.clone()));
+                o.set(
+                    "cache",
+                    Json::Str(if *cache_hit { "hit" } else { "miss" }.into()),
+                );
+                o.set("state", Json::Str(state.name().into()));
+            }
+            Response::RetryAfter { seconds } => {
+                o.set("type", Json::Str("retry-after".into()));
+                o.set("seconds", Json::UInt(*seconds));
+            }
+            Response::Status { job, state, error } => {
+                o.set("type", Json::Str("status".into()));
+                o.set("job", Json::Str(job.clone()));
+                o.set("state", Json::Str(state.name().into()));
+                if let Some(e) = error {
+                    o.set("error", Json::Str(e.clone()));
+                }
+            }
+            Response::Result { job, body } => {
+                o.set("type", Json::Str("result".into()));
+                o.set("job", Json::Str(job.clone()));
+                o.set("body", body.clone());
+            }
+            Response::Stats { body } => {
+                o.set("type", Json::Str("stats".into()));
+                o.set("body", body.clone());
+            }
+            Response::Error { message } => {
+                o.set("type", Json::Str("error".into()));
+                o.set("message", Json::Str(message.clone()));
+            }
+            Response::Bye { draining } => {
+                o.set("type", Json::Str("bye".into()));
+                o.set("draining", Json::UInt(*draining));
+            }
+        }
+        o.to_compact()
+    }
+
+    /// Decodes a wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed JSON, wrong version, or an
+    /// unknown response type.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let v = json::parse(line.trim()).map_err(|e| wire_err(e.to_string()))?;
+        check_version(&v)?;
+        let job_str = |v: &Json| -> Result<String, WireError> {
+            v.get("job")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| wire_err("missing `job` id"))
+        };
+        let state_of = |v: &Json| -> Result<JobState, WireError> {
+            JobState::from_name(
+                v.get("state")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| wire_err("missing `state`"))?,
+            )
+        };
+        match v.get("type").and_then(Json::as_str) {
+            Some("accepted") => Ok(Response::Accepted {
+                job: job_str(&v)?,
+                cache_hit: v.get("cache").and_then(Json::as_str) == Some("hit"),
+                state: state_of(&v)?,
+            }),
+            Some("retry-after") => Ok(Response::RetryAfter {
+                seconds: v
+                    .get("seconds")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| wire_err("missing `seconds`"))?,
+            }),
+            Some("status") => Ok(Response::Status {
+                job: job_str(&v)?,
+                state: state_of(&v)?,
+                error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            }),
+            Some("result") => Ok(Response::Result {
+                job: job_str(&v)?,
+                body: v
+                    .get("body")
+                    .cloned()
+                    .ok_or_else(|| wire_err("missing `body`"))?,
+            }),
+            Some("stats") => Ok(Response::Stats {
+                body: v
+                    .get("body")
+                    .cloned()
+                    .ok_or_else(|| wire_err("missing `body`"))?,
+            }),
+            Some("error") => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            }),
+            Some("bye") => Ok(Response::Bye {
+                draining: v.get("draining").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            Some(other) => Err(wire_err(format!("unknown response type `{other}`"))),
+            None => Err(wire_err("missing response `type`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Submit {
+                spec: JobSpec::new(ExperimentKind::Figure9, Scale::Test),
+                deadline_ms: Some(60_000),
+            },
+            Request::Submit {
+                spec: JobSpec::sleep(250),
+                deadline_ms: None,
+            },
+            Request::Poll { job: "deadbeef01234567".into() },
+            Request::Fetch { job: "deadbeef01234567".into() },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::from_line(&line).expect("decodes"), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Accepted {
+                job: "ab".into(),
+                cache_hit: true,
+                state: JobState::Done,
+            },
+            Response::RetryAfter { seconds: 2 },
+            Response::Status {
+                job: "ab".into(),
+                state: JobState::Expired,
+                error: Some("deadline exceeded".into()),
+            },
+            Response::Result {
+                job: "ab".into(),
+                body: Json::Obj(vec![("rows".into(), Json::Arr(vec![]))]),
+            },
+            Response::Stats { body: Json::object() },
+            Response::Error { message: "nope".into() },
+            Response::Bye { draining: 3 },
+        ];
+        for r in resps {
+            let line = r.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::from_line(&line).expect("decodes"), r);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        assert!(Request::from_line(r#"{"v":2,"type":"stats"}"#).is_err());
+        assert!(Request::from_line(r#"{"type":"stats"}"#).is_err());
+        assert!(Response::from_line(r#"{"v":99,"type":"bye"}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        assert!(Request::from_line(r#"{"v":1,"type":"frobnicate"}"#).is_err());
+        assert!(ExperimentKind::from_name("figure99").is_err());
+        assert!(scale_from_name("huge").is_err());
+        let bad_spec = r#"{"v":1,"type":"submit","job":{"experiment":"figure9","scale":"huge"}}"#;
+        assert!(Request::from_line(bad_spec).is_err());
+    }
+
+    #[test]
+    fn job_ids_are_content_addressed() {
+        let a = JobSpec::new(ExperimentKind::Figure9, Scale::Test);
+        let b = JobSpec::new(ExperimentKind::Figure9, Scale::Test);
+        assert_eq!(a.job_id(), b.job_id());
+        assert_eq!(a.job_id().len(), 16);
+        let c = JobSpec::new(ExperimentKind::Figure9, Scale::Full);
+        assert_ne!(a.job_id(), c.job_id());
+        let d = JobSpec::new(ExperimentKind::Figure10, Scale::Test);
+        assert_ne!(a.job_id(), d.job_id());
+        let mut e = a;
+        e.datapath = DatapathMode::Faithful;
+        assert_ne!(a.job_id(), e.job_id());
+        assert_ne!(JobSpec::sleep(1).job_id(), JobSpec::sleep(2).job_id());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        for &kind in ExperimentKind::all() {
+            for scale in [Scale::Test, Scale::Small, Scale::Full] {
+                let mut spec = JobSpec::new(kind, scale);
+                spec.sleep_ms = if kind == ExperimentKind::Sleep { 42 } else { 0 };
+                let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
+                assert_eq!(back, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_jobs_run_and_cancel() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cancelled = AtomicBool::new(false);
+        let body = JobSpec::sleep(20).run(1, &cancelled);
+        assert_eq!(body.get("slept-ms").and_then(Json::as_u64), Some(20));
+        cancelled.store(true, Ordering::Relaxed);
+        let body = JobSpec::sleep(10_000).run(1, &cancelled);
+        assert_eq!(body.get("cancelled"), Some(&Json::Bool(true)));
+        assert!(body.get("slept-ms").and_then(Json::as_u64).unwrap() < 10_000);
+    }
+}

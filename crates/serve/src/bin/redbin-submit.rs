@@ -1,0 +1,263 @@
+//! `redbin-submit` — CLI client for `redbin-served`.
+//!
+//! ```text
+//! redbin-submit --server HOST:PORT submit EXPERIMENT [--scale S] [--datapath D]
+//!               [--deadline-ms N] [--no-wait] [--json PATH]
+//! redbin-submit --server HOST:PORT sleep MILLIS [--deadline-ms N] [--no-wait]
+//! redbin-submit --server HOST:PORT poll JOB
+//! redbin-submit --server HOST:PORT fetch JOB [--json PATH]
+//! redbin-submit --server HOST:PORT batch MANIFEST.json [--json PATH]
+//! redbin-submit --server HOST:PORT stats
+//! redbin-submit --server HOST:PORT shutdown
+//! ```
+//!
+//! `submit`/`sleep` wait for completion and print the result body by
+//! default; `--no-wait` prints the accepted job id instead. A batch
+//! manifest is `{"jobs":[{"experiment":"figure9","scale":"test"},…]}`;
+//! results are collected into one document keyed by job id.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use redbin::json::{self, Json};
+use redbin::wire::{ExperimentKind, JobSpec, Response};
+use redbin_serve::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: redbin-submit --server HOST:PORT \
+         (submit EXPERIMENT [--scale test|small|full] [--datapath fast|faithful] \
+         [--deadline-ms N] [--no-wait] [--json PATH] \
+         | sleep MILLIS [--deadline-ms N] [--no-wait] \
+         | poll JOB | fetch JOB [--json PATH] \
+         | batch MANIFEST [--json PATH] | stats | shutdown)"
+    );
+    std::process::exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("redbin-submit: {msg}");
+    std::process::exit(1)
+}
+
+#[derive(Default)]
+struct Opts {
+    scale: Option<String>,
+    datapath: Option<String>,
+    deadline_ms: Option<u64>,
+    no_wait: bool,
+    json: Option<std::path::PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--scale" => o.scale = Some(next("--scale")),
+            "--datapath" => o.datapath = Some(next("--datapath")),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    next("--deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--deadline-ms needs an integer")),
+                )
+            }
+            "--no-wait" => o.no_wait = true,
+            "--json" => o.json = Some(next("--json").into()),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+    o
+}
+
+fn spec_from(experiment: &str, opts: &Opts) -> JobSpec {
+    let mut spec_json = Json::object();
+    spec_json.set("experiment", Json::Str(experiment.to_string()));
+    spec_json.set(
+        "scale",
+        Json::Str(opts.scale.clone().unwrap_or_else(|| "test".into())),
+    );
+    if let Some(d) = &opts.datapath {
+        spec_json.set("datapath", Json::Str(d.clone()));
+    }
+    JobSpec::from_json(&spec_json).unwrap_or_else(|e| fail(e))
+}
+
+fn emit(doc: &Json, path: Option<&std::path::Path>) {
+    match path {
+        Some(p) => {
+            json::write_file(p, doc).unwrap_or_else(|e| fail(format!("writing {}: {e}", p.display())));
+            eprintln!("json: wrote {}", p.display());
+        }
+        None => print!("{}", doc.to_pretty()),
+    }
+}
+
+fn submit_and_report(client: &Client, spec: JobSpec, opts: &Opts) -> ExitCode {
+    if opts.no_wait {
+        match client.submit(spec, opts.deadline_ms) {
+            Ok(Response::Accepted { job, cache_hit, state }) => {
+                println!(
+                    "{job} {} (cache {})",
+                    state.name(),
+                    if cache_hit { "hit" } else { "miss" }
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(Response::RetryAfter { seconds }) => {
+                eprintln!("queue full; retry after {seconds}s");
+                ExitCode::FAILURE
+            }
+            Ok(other) => fail(format!("unexpected reply {other:?}")),
+            Err(e) => fail(e),
+        }
+    } else {
+        match client.run_to_completion(spec, opts.deadline_ms, Duration::from_secs(3600)) {
+            Ok((job, body, cache_hit)) => {
+                eprintln!(
+                    "job {job} done (cache {})",
+                    if cache_hit { "hit" } else { "miss" }
+                );
+                emit(&body, opts.json.as_deref());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        }
+    }
+}
+
+fn run_batch(client: &Client, manifest_path: &str, opts: &Opts) -> ExitCode {
+    let text = std::fs::read_to_string(manifest_path)
+        .unwrap_or_else(|e| fail(format!("reading {manifest_path}: {e}")));
+    let manifest = json::parse(&text).unwrap_or_else(|e| fail(format!("{manifest_path}: {e}")));
+    let jobs = manifest
+        .get("jobs")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail(format!("{manifest_path}: expected an object with a `jobs` array")));
+    let specs: Vec<JobSpec> = jobs
+        .iter()
+        .map(|j| JobSpec::from_json(j).unwrap_or_else(|e| fail(format!("{manifest_path}: {e}"))))
+        .collect();
+    let mut out = Json::object();
+    let mut results = Json::object();
+    let mut hits = 0u64;
+    for spec in specs {
+        let (job, body, cache_hit) = client
+            .run_to_completion(spec, opts.deadline_ms, Duration::from_secs(3600))
+            .unwrap_or_else(|e| fail(e));
+        eprintln!(
+            "{}: job {job} done (cache {})",
+            spec.kind.name(),
+            if cache_hit { "hit" } else { "miss" }
+        );
+        hits += u64::from(cache_hit);
+        let mut entry = Json::object();
+        entry.set("experiment", Json::Str(spec.kind.name().to_string()));
+        entry.set("cache-hit", Json::Bool(cache_hit));
+        entry.set("result", body);
+        results.set(&job, entry);
+    }
+    out.set("cache-hits", Json::UInt(hits));
+    out.set("results", results);
+    emit(&out, opts.json.as_deref());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut server = None;
+    let mut rest = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--server" {
+            server = it.next();
+        } else if let Some(v) = a.strip_prefix("--server=") {
+            server = Some(v.to_string());
+        } else {
+            rest.push(a);
+        }
+    }
+    let server = server.unwrap_or_else(|| {
+        std::env::var("REDBIN_SERVER").unwrap_or_else(|_| usage())
+    });
+    let client = Client::new(server);
+    let Some(command) = rest.first().cloned() else { usage() };
+
+    match command.as_str() {
+        "submit" => {
+            let Some(experiment) = rest.get(1) else { usage() };
+            if ExperimentKind::from_name(experiment).is_err() {
+                fail(format!(
+                    "unknown experiment `{experiment}`; try one of {}",
+                    ExperimentKind::all()
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                ));
+            }
+            let opts = parse_opts(&rest[2..]);
+            submit_and_report(&client, spec_from(experiment, &opts), &opts)
+        }
+        "sleep" => {
+            let millis: u64 = rest
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("sleep needs MILLIS"));
+            let opts = parse_opts(&rest[2..]);
+            submit_and_report(&client, JobSpec::sleep(millis), &opts)
+        }
+        "poll" => {
+            let Some(job) = rest.get(1) else { usage() };
+            match client.poll(job) {
+                Ok(Response::Status { state, error, .. }) => {
+                    match error {
+                        Some(e) => println!("{} ({e})", state.name()),
+                        None => println!("{}", state.name()),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::Error { message }) => fail(message),
+                Ok(other) => fail(format!("unexpected reply {other:?}")),
+                Err(e) => fail(e),
+            }
+        }
+        "fetch" => {
+            let Some(job) = rest.get(1) else { usage() };
+            let opts = parse_opts(&rest[2..]);
+            match client.fetch(job) {
+                Ok(body) => {
+                    emit(&body, opts.json.as_deref());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "batch" => {
+            let Some(manifest) = rest.get(1) else { usage() };
+            let opts = parse_opts(&rest[2..]);
+            run_batch(&client, manifest, &opts)
+        }
+        "stats" => match client.stats() {
+            Ok(body) => {
+                print!("{}", body.to_pretty());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(draining) => {
+                println!("server draining {draining} job(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,144 @@
+//! The content-addressed result cache.
+//!
+//! Keys are job ids — 16-hex-digit renderings of
+//! [`redbin::wire::JobSpec::canonical_key`] — so the key *is* the
+//! computation: two submissions with the same key are the same experiment
+//! at the same fully-resolved configuration, and the cached body can be
+//! replayed byte-identically (the JSON renderer is deterministic).
+//!
+//! The cache is bounded with FIFO eviction: experiment result documents
+//! can be large (a full Figure 9 body carries per-benchmark stall
+//! breakdowns), and a long-lived server must not grow without bound.
+
+use std::collections::{HashMap, VecDeque};
+
+use redbin::json::Json;
+
+/// A bounded, content-addressed map from job id to result body.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: HashMap<String, Json>,
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a result and records a hit or miss.
+    pub fn lookup(&mut self, id: &str) -> Option<&Json> {
+        if self.entries.contains_key(id) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.entries.get(id)
+    }
+
+    /// Looks up without touching the hit/miss counters (used by `fetch`,
+    /// which follows a submit that already counted).
+    pub fn peek(&self, id: &str) -> Option<&Json> {
+        self.entries.get(id)
+    }
+
+    /// Inserts a result, evicting the oldest entry if full. Re-inserting
+    /// an existing id replaces the body without growing the cache.
+    pub fn insert(&mut self, id: &str, body: Json) {
+        if self.entries.insert(id.to_string(), body).is_some() {
+            return;
+        }
+        self.order.push_back(id.to_string());
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.entries.remove(&evicted);
+            }
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction over all counted lookups (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: u64) -> Json {
+        let mut o = Json::object();
+        o.set("n", Json::UInt(n));
+        o
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut c = ResultCache::new(8);
+        assert!(c.lookup("a").is_none());
+        c.insert("a", body(1));
+        assert_eq!(c.lookup("a"), Some(&body(1)));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        // peek is free.
+        assert_eq!(c.peek("a"), Some(&body(1)));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_fifo_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", body(1));
+        c.insert("b", body(2));
+        c.insert("c", body(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.peek("a").is_none(), "oldest entry evicted");
+        assert!(c.peek("b").is_some() && c.peek("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", body(1));
+        c.insert("b", body(2));
+        c.insert("a", body(9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek("a"), Some(&body(9)));
+        assert!(c.peek("b").is_some());
+    }
+}

@@ -1,0 +1,257 @@
+//! A blocking client for the `redbin-served` wire protocol.
+//!
+//! Each request opens a fresh connection, sends one envelope line, and
+//! reads one response line — the protocol is stateless, so this keeps the
+//! client trivially robust against server restarts (the content-addressed
+//! job ids stay valid across them as long as the cache is warm).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use redbin::json::Json;
+use redbin::wire::{JobSpec, JobState, Request, Response};
+
+/// A client error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a protocol envelope.
+    Protocol(String),
+    /// The server answered with an `error` envelope.
+    Server(String),
+    /// The job reached a terminal state without a result.
+    JobFailed {
+        /// The job id.
+        job: String,
+        /// `failed` or `expired`.
+        state: JobState,
+        /// The server's failure message.
+        message: String,
+    },
+    /// [`Client::run_to_completion`] gave up waiting.
+    Timeout(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::JobFailed { job, state, message } => {
+                write!(f, "job {job} {}: {message}", state.name())
+            }
+            ClientError::Timeout(m) => write!(f, "timeout: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    /// Per-request socket timeout.
+    pub io_timeout: Duration,
+    /// Delay between polls in [`Client::run_to_completion`].
+    pub poll_interval: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            io_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Protocol`] on
+    /// an undecodable reply.
+    pub fn request(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Protocol(format!("bad address `{}`: {e}", self.addr)))?;
+        let addr = addrs
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("address `{}` resolves to nothing", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.io_timeout)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        let mut writer = stream.try_clone()?;
+        writer.write_all(request.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(ClientError::Protocol("server closed without replying".into()));
+        }
+        Response::from_line(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only — backpressure comes back as
+    /// [`Response::RetryAfter`], not an error.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Submit { spec, deadline_ms })
+    }
+
+    /// Polls a job's state.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ClientError::Server`] for unknown jobs.
+    pub fn poll(&self, job: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Poll {
+            job: job.to_string(),
+        })
+    }
+
+    /// Fetches a completed job's result body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the job is unknown or has no result.
+    pub fn fetch(&self, job: &str) -> Result<Json, ClientError> {
+        match self.request(&Request::Fetch {
+            job: job.to_string(),
+        })? {
+            Response::Result { body, .. } => Ok(body),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to fetch: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's statistics document.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { body } => Ok(body),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns the number of jobs it
+    /// still had in flight.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn shutdown(&self) -> Result<u64, ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye { draining } => Ok(draining),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to shutdown: {other:?}"
+            ))),
+        }
+    }
+
+    /// The full submit→poll→fetch cycle: submits (respecting `retry-after`
+    /// backpressure), polls until terminal, and fetches the result.
+    ///
+    /// Returns `(job id, result body, served from cache at submit)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::JobFailed`] if the job fails or expires;
+    /// [`ClientError::Timeout`] if `overall_timeout` elapses first.
+    pub fn run_to_completion(
+        &self,
+        spec: JobSpec,
+        deadline_ms: Option<u64>,
+        overall_timeout: Duration,
+    ) -> Result<(String, Json, bool), ClientError> {
+        let give_up = Instant::now() + overall_timeout;
+        // Submit, backing off on explicit backpressure.
+        let (job, cache_hit, mut state) = loop {
+            match self.submit(spec, deadline_ms)? {
+                Response::Accepted { job, cache_hit, state } => break (job, cache_hit, state),
+                Response::RetryAfter { seconds } => {
+                    if Instant::now() > give_up {
+                        return Err(ClientError::Timeout("queue stayed full".into()));
+                    }
+                    // Clamp: the server's suggestion is a politeness floor
+                    // for busy fleets; tests use tiny queues.
+                    std::thread::sleep(Duration::from_millis((seconds * 1000).min(500)));
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected reply to submit: {other:?}"
+                    )))
+                }
+            }
+        };
+        // Poll to terminal.
+        while !state.is_terminal() {
+            if Instant::now() > give_up {
+                return Err(ClientError::Timeout(format!("job {job} still {}", state.name())));
+            }
+            std::thread::sleep(self.poll_interval);
+            state = match self.poll(&job)? {
+                Response::Status { state, error, .. } => {
+                    if state.is_terminal() && state != JobState::Done {
+                        return Err(ClientError::JobFailed {
+                            job,
+                            state,
+                            message: error.unwrap_or_default(),
+                        });
+                    }
+                    state
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected reply to poll: {other:?}"
+                    )))
+                }
+            };
+        }
+        if state != JobState::Done {
+            return Err(ClientError::JobFailed {
+                job,
+                state,
+                message: "terminal without result".into(),
+            });
+        }
+        let body = self.fetch(&job)?;
+        Ok((job, body, cache_hit))
+    }
+}

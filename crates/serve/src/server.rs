@@ -1,0 +1,729 @@
+//! The multi-threaded TCP job server behind `redbin-served`.
+//!
+//! Architecture (all std, no external dependencies):
+//!
+//! * an **accept loop** (non-blocking, polled) hands each connection to a
+//!   scoped handler thread speaking the newline-delimited envelope
+//!   protocol of [`redbin::wire`];
+//! * a **bounded queue** feeds a fixed **worker pool**; a full queue
+//!   answers `submit` with an explicit `retry-after` envelope instead of
+//!   blocking the connection (backpressure, never a hang);
+//! * results land in the **content-addressed cache** ([`crate::cache`]),
+//!   so a resubmission of the same fully-resolved configuration is served
+//!   `Done` immediately and fetches byte-identically;
+//! * a **reaper** tick expires queued jobs whose deadline passed and sets
+//!   the cancellation flag of late running jobs (cooperatively honored —
+//!   synthetic sleep jobs stop within ~10 ms; simulator experiments run
+//!   to completion and are then marked expired without poisoning the
+//!   cache);
+//! * **graceful shutdown** — a `shutdown` envelope or an external signal
+//!   flag (SIGTERM in the binary) — stops intake, drains every accepted
+//!   job, and only then lets [`Server::run`] return.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use redbin::json::Json;
+use redbin::sim::stats::StallCause;
+use redbin::wire::{JobSpec, JobState, Request, Response};
+
+use crate::cache::ResultCache;
+
+/// Tuning knobs for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum *queued* (not yet running) jobs before `submit` gets
+    /// `retry-after`.
+    pub queue_capacity: usize,
+    /// Threads each job's internal benchmark fan-out may use
+    /// ([`redbin::pool::run_jobs`]).
+    pub job_threads: usize,
+    /// Deadline applied to submissions that carry none (0 = unlimited).
+    pub default_deadline_ms: u64,
+    /// The delay suggested in `retry-after` responses.
+    pub retry_after_secs: u64,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Completed-job records kept for the `stats` response.
+    pub completed_log: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            job_threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            default_deadline_ms: 0,
+            retry_after_secs: 1,
+            cache_capacity: 256,
+            completed_log: 64,
+        }
+    }
+}
+
+/// One tracked submission.
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    error: Option<String>,
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+}
+
+/// A completed-job line for the `stats` response.
+#[derive(Debug, Clone)]
+struct CompletedJob {
+    id: String,
+    spec: JobSpec,
+    state: JobState,
+    wall_seconds: f64,
+    stall_causes: Vec<(String, u64)>,
+}
+
+/// Monotonic counters for the `stats` response.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    deduped: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    expired: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<String>,
+    jobs: HashMap<String, JobRecord>,
+    cache: ResultCache,
+    counters: Counters,
+    busy: usize,
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    inner: Mutex<Inner>,
+    work: Condvar,
+    started: Instant,
+    completed: Mutex<VecDeque<CompletedJob>>,
+}
+
+/// A bound-but-not-yet-running job server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let cache_capacity = cfg.cache_capacity;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    jobs: HashMap::new(),
+                    cache: ResultCache::new(cache_capacity),
+                    counters: Counters::default(),
+                    busy: 0,
+                    draining: false,
+                }),
+                work: Condvar::new(),
+                started: Instant::now(),
+                completed: Mutex::new(VecDeque::new()),
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that, once set (e.g. from a SIGTERM handler), makes the
+    /// server stop accepting work, drain, and return from [`Server::run`].
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown (envelope or [`Server::shutdown_flag`]),
+    /// draining all accepted jobs before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors (per-connection errors only
+    /// drop that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        let shutdown = &self.shutdown;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for worker in 0..shared.cfg.workers.max(1) {
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("redbin-worker-{worker}"))
+                    .spawn_scoped(scope, move || worker_loop(&shared))
+                    .expect("spawn worker");
+            }
+            {
+                let shared = Arc::clone(shared);
+                let shutdown = Arc::clone(shutdown);
+                std::thread::Builder::new()
+                    .name("redbin-reaper".into())
+                    .spawn_scoped(scope, move || reaper_loop(&shared, &shutdown))
+                    .expect("spawn reaper");
+            }
+
+            // Accept loop: polled so the external shutdown flag is honored
+            // even with no inbound traffic.
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    begin_drain(shared);
+                }
+                if shared.inner.lock().expect("state").draining {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = Arc::clone(shared);
+                        let shutdown = Arc::clone(shutdown);
+                        std::thread::Builder::new()
+                            .name("redbin-conn".into())
+                            .spawn_scoped(scope, move || {
+                                let _ = handle_connection(stream, &shared, &shutdown);
+                            })
+                            .expect("spawn connection handler");
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Drain: workers exit once the queue is empty and nothing runs.
+            shared.work.notify_all();
+            self.shutdown.store(true, Ordering::Relaxed); // reaper + conns exit
+            Ok(())
+        })
+    }
+}
+
+/// Puts the server into draining mode (idempotent).
+fn begin_drain(shared: &Shared) {
+    let mut inner = shared.inner.lock().expect("state");
+    inner.draining = true;
+    shared.work.notify_all();
+}
+
+/// Jobs not yet finished (queued + running) — reported in `bye`.
+fn outstanding(inner: &Inner) -> u64 {
+    inner.queue.len() as u64 + inner.busy as u64
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, record_spec, cancelled, deadline) = {
+            let mut inner = shared.inner.lock().expect("state");
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    let rec = inner.jobs.get_mut(&id).expect("queued job has a record");
+                    // Deadline may have passed while queued (the reaper also
+                    // sweeps, but this close the last race).
+                    if rec
+                        .deadline
+                        .is_some_and(|d| Instant::now() > d)
+                    {
+                        rec.state = JobState::Expired;
+                        rec.error = Some("deadline exceeded while queued".into());
+                        inner.counters.expired += 1;
+                        continue;
+                    }
+                    rec.state = JobState::Running;
+                    let out = (
+                        id.clone(),
+                        rec.spec,
+                        Arc::clone(&rec.cancelled),
+                        rec.deadline,
+                    );
+                    inner.busy += 1;
+                    break out;
+                }
+                if inner.draining {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .work
+                    .wait_timeout(inner, Duration::from_millis(100))
+                    .expect("state");
+                inner = guard;
+            }
+        };
+
+        let started = Instant::now();
+        let threads = shared.cfg.job_threads;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            record_spec.run(threads, &cancelled)
+        }));
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let mut inner = shared.inner.lock().expect("state");
+        inner.busy -= 1;
+        let was_cancelled = cancelled.load(Ordering::Relaxed);
+        let late = deadline.is_some_and(|d| Instant::now() > d);
+        let (state, error, stall_causes) = match outcome {
+            Ok(body) => {
+                let causes = aggregate_stall_causes(&body);
+                if was_cancelled {
+                    // Body is partial; never cache it.
+                    (
+                        JobState::Expired,
+                        Some("deadline exceeded; job cancelled".into()),
+                        causes,
+                    )
+                } else {
+                    // Complete body: cache it unconditionally (the content
+                    // address is valid even if *this* submission missed its
+                    // deadline).
+                    inner.cache.insert(&id, body);
+                    if late {
+                        (
+                            JobState::Expired,
+                            Some("completed after deadline".into()),
+                            causes,
+                        )
+                    } else {
+                        (JobState::Done, None, causes)
+                    }
+                }
+            }
+            Err(panic) => (JobState::Failed, Some(panic_message(&panic)), Vec::new()),
+        };
+        match state {
+            JobState::Done => inner.counters.completed += 1,
+            JobState::Failed => inner.counters.failed += 1,
+            JobState::Expired => inner.counters.expired += 1,
+            _ => unreachable!("workers only finish into terminal states"),
+        }
+        if let Some(rec) = inner.jobs.get_mut(&id) {
+            rec.state = state;
+            rec.error = error;
+        }
+        drop(inner);
+
+        let mut completed = shared.completed.lock().expect("completed log");
+        completed.push_back(CompletedJob {
+            id,
+            spec: record_spec,
+            state,
+            wall_seconds,
+            stall_causes,
+        });
+        while completed.len() > shared.cfg.completed_log {
+            completed.pop_front();
+        }
+    }
+}
+
+/// Periodically expires queued jobs past their deadline and cancels late
+/// running jobs.
+fn reaper_loop(shared: &Shared, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(25));
+        let now = Instant::now();
+        let mut inner = shared.inner.lock().expect("state");
+        let mut expired_ids = Vec::new();
+        {
+            let Inner { queue, jobs, .. } = &mut *inner;
+            queue.retain(|id| {
+                let late = jobs
+                    .get(id)
+                    .is_some_and(|rec| rec.deadline.is_some_and(|d| now > d));
+                if late {
+                    expired_ids.push(id.clone());
+                }
+                !late
+            });
+        }
+        for id in expired_ids {
+            if let Some(rec) = inner.jobs.get_mut(&id) {
+                rec.state = JobState::Expired;
+                rec.error = Some("deadline exceeded while queued".into());
+                inner.counters.expired += 1;
+            }
+        }
+        for rec in inner.jobs.values_mut() {
+            if rec.state == JobState::Running && rec.deadline.is_some_and(|d| now > d) {
+                rec.cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Sums every `"stall" → "causes"` object in a result body — the PR-1
+/// stall-cause breakdown, aggregated over all machine models/benchmarks a
+/// job simulated. Returned in [`StallCause::all`] order for stable output.
+fn aggregate_stall_causes(body: &Json) -> Vec<(String, u64)> {
+    fn walk(v: &Json, totals: &mut HashMap<String, u64>) {
+        match v {
+            Json::Obj(pairs) => {
+                for (k, val) in pairs {
+                    if k == "stall" {
+                        if let Some(Json::Obj(causes)) =
+                            val.get("causes")
+                        {
+                            for (cause, n) in causes {
+                                if let Some(n) = n.as_u64() {
+                                    *totals.entry(cause.clone()).or_insert(0) += n;
+                                }
+                            }
+                        }
+                    }
+                    walk(val, totals);
+                }
+            }
+            Json::Arr(items) => {
+                for item in items {
+                    walk(item, totals);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut totals = HashMap::new();
+    walk(body, &mut totals);
+    if totals.is_empty() {
+        return Vec::new();
+    }
+    StallCause::all()
+        .iter()
+        .map(|c| (c.key().to_string(), totals.get(c.key()).copied().unwrap_or(0)))
+        .collect()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {
+                let (response, drain_after) = handle_line(line.trim(), shared);
+                writer.write_all(response.to_line().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if drain_after {
+                    begin_drain(shared);
+                    return Ok(());
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick: keep any partial line buffered, but stop
+                // serving once shutdown begins.
+                if shutdown.load(Ordering::Relaxed)
+                    || shared.inner.lock().expect("state").draining
+                {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response and whether the
+/// server should begin draining afterwards.
+fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
+    let request = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Submit { spec, deadline_ms } => (handle_submit(spec, deadline_ms, shared), false),
+        Request::Poll { job } => (handle_poll(&job, shared), false),
+        Request::Fetch { job } => (handle_fetch(&job, shared), false),
+        Request::Stats => (
+            Response::Stats {
+                body: stats_body(shared),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            let inner = shared.inner.lock().expect("state");
+            (
+                Response::Bye {
+                    draining: outstanding(&inner),
+                },
+                true,
+            )
+        }
+    }
+}
+
+fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Response {
+    let id = spec.job_id();
+    let mut inner = shared.inner.lock().expect("state");
+    if inner.draining {
+        return Response::Error {
+            message: "server is draining".into(),
+        };
+    }
+
+    // Content-addressed fast path: the result already exists.
+    if inner.cache.lookup(&id).is_some() {
+        return Response::Accepted {
+            job: id,
+            cache_hit: true,
+            state: JobState::Done,
+        };
+    }
+    // A miss was just counted; the outcomes below all correspond to "the
+    // result was not served from cache".
+
+    // Idempotent submit: the same computation is already queued or running.
+    let live_state = inner
+        .jobs
+        .get(&id)
+        .map(|rec| rec.state)
+        .filter(|s| !s.is_terminal());
+    if let Some(state) = live_state {
+        inner.counters.deduped += 1;
+        return Response::Accepted {
+            job: id,
+            cache_hit: false,
+            state,
+        };
+    }
+
+    // Backpressure: explicit retry-after, never a hang.
+    if inner.queue.len() >= shared.cfg.queue_capacity {
+        inner.counters.rejected += 1;
+        return Response::RetryAfter {
+            seconds: shared.cfg.retry_after_secs.max(1),
+        };
+    }
+
+    let effective_ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+    let deadline = (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+    inner.jobs.insert(
+        id.clone(),
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            error: None,
+            deadline,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        },
+    );
+    inner.queue.push_back(id.clone());
+    inner.counters.submitted += 1;
+    shared.work.notify_one();
+    Response::Accepted {
+        job: id,
+        cache_hit: false,
+        state: JobState::Queued,
+    }
+}
+
+fn handle_poll(job: &str, shared: &Shared) -> Response {
+    let inner = shared.inner.lock().expect("state");
+    // Cache presence alone answers done — the server may have restarted a
+    // record away, or the entry may come from an earlier submission.
+    if let Some(rec) = inner.jobs.get(job) {
+        Response::Status {
+            job: job.to_string(),
+            state: rec.state,
+            error: rec.error.clone(),
+        }
+    } else if inner.cache.peek(job).is_some() {
+        Response::Status {
+            job: job.to_string(),
+            state: JobState::Done,
+            error: None,
+        }
+    } else {
+        Response::Error {
+            message: format!("unknown job `{job}`"),
+        }
+    }
+}
+
+fn handle_fetch(job: &str, shared: &Shared) -> Response {
+    let inner = shared.inner.lock().expect("state");
+    if let Some(body) = inner.cache.peek(job) {
+        return Response::Result {
+            job: job.to_string(),
+            body: body.clone(),
+        };
+    }
+    match inner.jobs.get(job) {
+        Some(rec) if !rec.state.is_terminal() => Response::Error {
+            message: format!("job `{job}` is {}; poll until done", rec.state.name()),
+        },
+        Some(rec) => Response::Error {
+            message: format!(
+                "job `{job}` {}: {}",
+                rec.state.name(),
+                rec.error.as_deref().unwrap_or("no result")
+            ),
+        },
+        None => Response::Error {
+            message: format!("unknown job `{job}`"),
+        },
+    }
+}
+
+/// Builds the `stats` response body.
+fn stats_body(shared: &Shared) -> Json {
+    let inner = shared.inner.lock().expect("state");
+    let mut body = Json::object();
+    body.set(
+        "uptime-seconds",
+        Json::Num(shared.started.elapsed().as_secs_f64()),
+    );
+    body.set("workers", Json::UInt(shared.cfg.workers as u64));
+    body.set("workers-busy", Json::UInt(inner.busy as u64));
+    body.set("queue-depth", Json::UInt(inner.queue.len() as u64));
+    body.set(
+        "queue-capacity",
+        Json::UInt(shared.cfg.queue_capacity as u64),
+    );
+    body.set(
+        "worker-utilization",
+        Json::Num(inner.busy as f64 / shared.cfg.workers.max(1) as f64),
+    );
+    let mut jobs = Json::object();
+    jobs.set("submitted", Json::UInt(inner.counters.submitted));
+    jobs.set("deduped", Json::UInt(inner.counters.deduped));
+    jobs.set("rejected", Json::UInt(inner.counters.rejected));
+    jobs.set("completed", Json::UInt(inner.counters.completed));
+    jobs.set("failed", Json::UInt(inner.counters.failed));
+    jobs.set("expired", Json::UInt(inner.counters.expired));
+    body.set("jobs", jobs);
+    let mut cache = Json::object();
+    cache.set("entries", Json::UInt(inner.cache.len() as u64));
+    cache.set("capacity", Json::UInt(shared.cfg.cache_capacity as u64));
+    cache.set("hits", Json::UInt(inner.cache.hits()));
+    cache.set("misses", Json::UInt(inner.cache.misses()));
+    cache.set("hit-rate", Json::Num(inner.cache.hit_rate()));
+    body.set("cache", cache);
+    drop(inner);
+
+    let completed = shared.completed.lock().expect("completed log");
+    let rows: Vec<Json> = completed
+        .iter()
+        .map(|c| {
+            let mut o = Json::object();
+            o.set("job", Json::Str(c.id.clone()));
+            o.set("experiment", Json::Str(c.spec.kind.name().to_string()));
+            o.set(
+                "scale",
+                Json::Str(redbin::wire::scale_name(c.spec.scale).to_string()),
+            );
+            o.set("state", Json::Str(c.state.name().to_string()));
+            o.set("wall-seconds", Json::Num(c.wall_seconds));
+            if !c.stall_causes.is_empty() {
+                o.set(
+                    "stall-causes",
+                    Json::Obj(
+                        c.stall_causes
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                            .collect(),
+                    ),
+                );
+            }
+            o
+        })
+        .collect();
+    body.set("completed", Json::Arr(rows));
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_aggregation_sums_across_models() {
+        let doc = redbin::json::parse(
+            r#"{"rows":[
+                {"stats":{"Baseline":{"stall":{"causes":{"fetch-starved":3,"window-full":1}}},
+                          "Ideal":{"stall":{"causes":{"fetch-starved":4,"window-full":0}}}}}
+            ]}"#,
+        )
+        .expect("valid");
+        let causes = aggregate_stall_causes(&doc);
+        assert!(!causes.is_empty());
+        let get = |k: &str| {
+            causes
+                .iter()
+                .find(|(c, _)| c == k)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("fetch-starved"), 7);
+        assert_eq!(get("window-full"), 1);
+    }
+
+    #[test]
+    fn stall_aggregation_empty_for_stall_free_bodies() {
+        let doc = redbin::json::parse(r#"{"rows":[{"x":1}]}"#).expect("valid");
+        assert!(aggregate_stall_causes(&doc).is_empty());
+    }
+}

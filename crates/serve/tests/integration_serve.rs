@@ -1,0 +1,264 @@
+//! End-to-end tests: a real `Server` on a loopback ephemeral port, driven
+//! through the real `Client` over TCP.
+//!
+//! Covers the PR acceptance criteria:
+//! * a `--scale test` Figure 9 job submitted twice — the second submission
+//!   is a cache hit served byte-identically (same JSON envelope body), and
+//!   the hit is visible in `stats`;
+//! * queue-full backpressure (`retry-after`, not a hang);
+//! * deadline-exceeded (expired while queued, and cancellation of a late
+//!   running job);
+//! * graceful shutdown draining in-flight jobs.
+
+use std::time::Duration;
+
+use redbin::json::Json;
+use redbin::wire::{ExperimentKind, JobSpec, JobState, Response};
+use redbin::workload::Scale;
+use redbin_serve::{Client, ClientError, ServeConfig, Server};
+
+/// Binds a server on an ephemeral loopback port and runs it on a
+/// background thread; returns a client plus the join handle.
+fn start_server(cfg: ServeConfig) -> (Client, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr.to_string());
+    (client, handle)
+}
+
+fn shut_down(client: &Client, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    client.shutdown().expect("shutdown accepted");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn figure9_twice_hits_cache_byte_identically() {
+    let (client, handle) = start_server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let spec = JobSpec::new(ExperimentKind::Figure9, Scale::Test);
+
+    let (job1, body1, hit1) = client
+        .run_to_completion(spec, None, Duration::from_secs(300))
+        .expect("first run completes");
+    assert!(!hit1, "first submission must be a miss");
+
+    let (job2, body2, hit2) = client
+        .run_to_completion(spec, None, Duration::from_secs(60))
+        .expect("second run completes");
+    assert!(hit2, "second submission must be served from cache");
+    assert_eq!(job1, job2, "content-addressed id is stable");
+    // Byte-identical: the rendered envelope bodies match exactly.
+    assert_eq!(body1.to_pretty(), body2.to_pretty());
+    assert_eq!(body1.to_compact(), body2.to_compact());
+    // Spot-check it is a real Figure 9 body.
+    assert_eq!(body1.get("width").and_then(Json::as_u64), Some(8));
+    assert!(body1.get("harmonic-means").is_some());
+
+    // The hit is visible in stats, as is the stall-cause breakdown of the
+    // completed job.
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert!(cache.get("hit-rate").and_then(Json::as_f64).unwrap() > 0.0);
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+    let completed = stats
+        .get("completed")
+        .and_then(Json::as_array)
+        .expect("completed log");
+    assert_eq!(completed.len(), 1, "one actual execution");
+    let entry = &completed[0];
+    assert_eq!(entry.get("experiment").and_then(Json::as_str), Some("figure9"));
+    assert_eq!(entry.get("state").and_then(Json::as_str), Some("done"));
+    let stall = entry.get("stall-causes").expect("per-job stall breakdown");
+    assert!(
+        stall.get("fetch-starved").and_then(Json::as_u64).is_some(),
+        "stall causes carry the PR-1 taxonomy"
+    );
+
+    shut_down(&client, handle);
+}
+
+#[test]
+fn queue_full_answers_retry_after() {
+    // One worker, queue of one: a running job plus a queued job saturate
+    // the server; the third distinct submission must get backpressure.
+    let (client, handle) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_secs: 1,
+        ..Default::default()
+    });
+    let running = client
+        .submit(JobSpec::sleep(3_000), None)
+        .expect("first submit");
+    assert!(matches!(running, Response::Accepted { .. }));
+    // Wait until the first job actually occupies the worker so the second
+    // sits in the queue.
+    wait_until(&client, |stats| {
+        stats.get("workers-busy").and_then(Json::as_u64) == Some(1)
+    });
+    let queued = client
+        .submit(JobSpec::sleep(3_001), None)
+        .expect("second submit");
+    assert!(matches!(queued, Response::Accepted { state: JobState::Queued, .. }));
+
+    let rejected = client
+        .submit(JobSpec::sleep(3_002), None)
+        .expect("third submit gets an answer, not a hang");
+    match rejected {
+        Response::RetryAfter { seconds } => assert!(seconds >= 1),
+        other => panic!("expected retry-after, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    let jobs = stats.get("jobs").expect("jobs section");
+    assert_eq!(jobs.get("rejected").and_then(Json::as_u64), Some(1));
+
+    // Resubmitting an already-queued spec is deduplicated, not rejected.
+    let deduped = client
+        .submit(JobSpec::sleep(3_001), None)
+        .expect("idempotent resubmit");
+    assert!(matches!(deduped, Response::Accepted { state: JobState::Queued, .. }));
+
+    shut_down(&client, handle);
+}
+
+#[test]
+fn deadline_expires_queued_and_cancels_running_jobs() {
+    let (client, handle) = start_server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    // Occupy the single worker, with a deadline that will cancel it.
+    let Response::Accepted { job: running_id, .. } = client
+        .submit(JobSpec::sleep(60_000), Some(400))
+        .expect("submit running job")
+    else {
+        panic!("expected accepted")
+    };
+    wait_until(&client, |stats| {
+        stats.get("workers-busy").and_then(Json::as_u64) == Some(1)
+    });
+
+    // A queued job with a tiny deadline expires before any worker frees up.
+    let Response::Accepted { job: queued_id, .. } = client
+        .submit(JobSpec::sleep(1_000), Some(50))
+        .expect("submit queued job")
+    else {
+        panic!("expected accepted")
+    };
+    let state = poll_until_terminal(&client, &queued_id, Duration::from_secs(10));
+    assert_eq!(state, JobState::Expired, "queued job expired by its deadline");
+
+    // The running sleep job is cooperatively cancelled at its deadline —
+    // long before its 60 s nominal duration.
+    let state = poll_until_terminal(&client, &running_id, Duration::from_secs(10));
+    assert_eq!(state, JobState::Expired, "running job cancelled at deadline");
+    // A cancelled (partial) body must not poison the cache.
+    match client.fetch(&running_id) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("expired"), "{msg}"),
+        other => panic!("cancelled job must have no cached result, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    let jobs = stats.get("jobs").expect("jobs");
+    assert_eq!(jobs.get("expired").and_then(Json::as_u64), Some(2));
+
+    shut_down(&client, handle);
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let (client, handle) = start_server(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    // One running (per worker) + stack one more in the queue.
+    for ms in [300, 301, 302] {
+        let r = client.submit(JobSpec::sleep(ms), None).expect("submit");
+        assert!(matches!(r, Response::Accepted { .. }));
+    }
+    let draining = client.shutdown().expect("shutdown");
+    assert!(draining >= 1, "jobs were still in flight: {draining}");
+    // run() only returns once every accepted job drained.
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn protocol_errors_are_answered_not_dropped() {
+    let (client, handle) = start_server(ServeConfig::default());
+    // An unknown job id is a server-side error envelope.
+    match client.poll("ffffffffffffffff") {
+        Ok(Response::Error { message }) => assert!(message.contains("unknown job")),
+        other => panic!("expected error envelope, got {other:?}"),
+    }
+    // Malformed / version-mismatched lines come back as error envelopes too.
+    let raw = raw_exchange(client.addr(), "{\"v\":1,\"type\":\"nope\"}\n");
+    let resp = Response::from_line(&raw).expect("decodable error envelope");
+    assert!(matches!(resp, Response::Error { .. }));
+    let raw = raw_exchange(client.addr(), "not json at all\n");
+    let resp = Response::from_line(&raw).expect("decodable error envelope");
+    assert!(matches!(resp, Response::Error { .. }));
+    shut_down(&client, handle);
+}
+
+#[test]
+fn external_shutdown_flag_drains_like_sigterm() {
+    // The binary's SIGTERM handler just sets Server::shutdown_flag; drive
+    // that path directly.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+    let r = client.submit(JobSpec::sleep(200), None).expect("submit");
+    assert!(matches!(r, Response::Accepted { .. }));
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Polls `stats` until `pred` holds (10 s cap — generous for CI).
+fn wait_until(client: &Client, pred: impl Fn(&Json) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "condition not reached; last stats: {}",
+            stats.to_pretty()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn poll_until_terminal(client: &Client, job: &str, timeout: Duration) -> JobState {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match client.poll(job).expect("poll") {
+            Response::Status { state, .. } if state.is_terminal() => return state,
+            Response::Status { .. } => {}
+            other => panic!("unexpected poll reply {other:?}"),
+        }
+        assert!(std::time::Instant::now() < deadline, "job {job} never terminal");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Sends raw bytes and returns the first response line — for testing the
+/// server's handling of requests the typed client cannot produce.
+fn raw_exchange(addr: &str, payload: &str) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.write_all(payload.as_bytes()).expect("write");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read");
+    line
+}

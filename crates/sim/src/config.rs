@@ -5,6 +5,8 @@ use redbin_isa::class::{latency_class, LatencyClass};
 use redbin_isa::format::{output_format, ValueFormat};
 use redbin_isa::Opcode;
 
+use crate::hash::Fnv64;
+
 /// Which execution core is being modeled (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreModel {
@@ -34,6 +36,16 @@ impl CoreModel {
             CoreModel::RbLimited => "RB-limited",
             CoreModel::RbFull => "RB-full",
             CoreModel::Ideal => "Ideal",
+        }
+    }
+
+    /// The canonical one-byte tag used by [`MachineConfig::canonical_hash`].
+    pub fn canonical_tag(self) -> u8 {
+        match self {
+            CoreModel::Baseline => 0,
+            CoreModel::RbLimited => 1,
+            CoreModel::RbFull => 2,
+            CoreModel::Ideal => 3,
         }
     }
 
@@ -337,6 +349,57 @@ impl MachineConfig {
     pub fn format_category_is_rb(&self, op: Opcode) -> bool {
         self.model.is_rb() && output_format(op) == Some(ValueFormat::Rb)
     }
+
+    /// Folds every timing-relevant field into `h` in canonical order.
+    ///
+    /// This is the [`MachineConfig`] half of the serving layer's
+    /// content-addressed cache key; see [`crate::hash`] for the stability
+    /// contract. Every field of the struct is absorbed — two configurations
+    /// hash equal iff they are `==`.
+    pub fn fold_canonical(&self, h: &mut Fnv64) {
+        h.write_tag(0xA0); // domain tag: MachineConfig
+        h.write_tag(self.model.canonical_tag());
+        h.write_usize(self.width);
+        h.write_usize(self.front_width);
+        h.write_usize(self.window);
+        h.write_usize(self.schedulers);
+        h.write_usize(self.clusters);
+        h.write_u64(self.cluster_delay);
+        h.write_usize(self.rob);
+        h.write_bool(self.bypass.l1);
+        h.write_bool(self.bypass.l2);
+        h.write_bool(self.bypass.l3);
+        h.write_u64(self.front_latency);
+        h.write_u64(self.sched_to_exec);
+        h.write_usize(self.fetch_blocks);
+        h.write_usize(self.fetch_queue);
+        h.write_u64(self.conversion_latency);
+        for &(a, b, c, d) in [&self.icache, &self.dcache] {
+            h.write_usize(a).write_usize(b).write_usize(c).write_u64(d);
+        }
+        let (a, b, c, d, e, f) = self.l2;
+        h.write_usize(a).write_usize(b).write_usize(c);
+        h.write_u64(d).write_usize(e).write_u64(f);
+        let (a, b, c) = self.memory;
+        h.write_u64(a).write_usize(b).write_u64(c);
+        h.write_tag(match self.steering {
+            SteeringPolicy::RoundRobinPairs => 0,
+            SteeringPolicy::DependenceAware => 1,
+        });
+        h.write_tag(match self.datapath {
+            DatapathMode::Fast => 0,
+            DatapathMode::Faithful => 1,
+        });
+        h.write_u64(self.max_cycles);
+    }
+
+    /// A stable, platform-independent FNV-1a fingerprint of this machine
+    /// configuration (all fields, canonical order).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.fold_canonical(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +472,82 @@ mod tests {
         assert_eq!(BypassLevels::without(&[2, 3]).label(), "No-2,3");
         assert!(BypassLevels::without(&[2]).has(1));
         assert!(!BypassLevels::without(&[2]).has(2));
+    }
+
+    #[test]
+    fn canonical_hash_tracks_equality() {
+        let a = MachineConfig::rb_full(8);
+        let b = MachineConfig::rb_full(8);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_changes_on_any_field_flip() {
+        let base = MachineConfig::ideal(8);
+        let h0 = base.canonical_hash();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(h0);
+        let variants: Vec<MachineConfig> = vec![
+            MachineConfig::baseline(8),
+            MachineConfig::rb_limited(8),
+            MachineConfig::rb_full(8),
+            MachineConfig::ideal(4),
+            {
+                let mut c = base.clone();
+                c.window = 256;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.cluster_delay = 2;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.conversion_latency = 3;
+                c
+            },
+            base.clone().with_bypass(BypassLevels::without(&[2])),
+            base.clone().with_steering(SteeringPolicy::DependenceAware),
+            base.clone().with_datapath(DatapathMode::Faithful),
+            {
+                let mut c = base.clone();
+                c.dcache.0 *= 2;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.memory.0 = 200;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.max_cycles = 1;
+                c
+            },
+        ];
+        for v in variants {
+            assert!(
+                seen.insert(v.canonical_hash()),
+                "hash collision for variant {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_across_threads() {
+        let cfg = MachineConfig::rb_limited(4);
+        let expected = cfg.canonical_hash();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = cfg.clone();
+                std::thread::spawn(move || c.canonical_hash())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("thread"), expected);
+        }
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Canonical (platform-independent) hashing for configuration types.
+//!
+//! The serving layer keys its content-addressed result cache by a hash of
+//! the fully-resolved machine and experiment configuration. Rust's
+//! `std::hash::Hasher` makes no stability promise across releases, so this
+//! module provides an explicit FNV-1a 64-bit hasher fed through a canonical
+//! field encoding: every field is written in a fixed order, little-endian,
+//! with a domain-separation tag per type so that structurally identical
+//! but semantically different values cannot collide by construction.
+//!
+//! Stability contract: the bytes fed to [`Fnv64`] for a given configuration
+//! are part of the wire/cache format. Changing a field encoding (or adding
+//! a field) changes every hash — bump the serving schema version and
+//! regenerate the pinned hash manifest (`tests/golden/canonical_hashes.json`)
+//! when that happens.
+
+/// A 64-bit FNV-1a hasher with canonical field-encoding helpers.
+///
+/// FNV-1a is not cryptographic; it is used here as a deterministic,
+/// dependency-free fingerprint. Collisions are tolerable (a cache key
+/// collision yields a stale-but-well-formed result document, not memory
+/// unsafety), and the canonical encoding keeps accidental collisions
+/// between different field layouts from arising in practice.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a length-prefixed string (length prefix prevents `"ab","c"`
+    /// colliding with `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` widened to `u64` (platform-independent).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_bytes(&[u8::from(v)])
+    }
+
+    /// Absorbs a single tag byte — used for enum discriminants and
+    /// domain separation between types.
+    pub fn write_tag(&mut self, tag: u8) -> &mut Self {
+        self.write_bytes(&[tag])
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_field_boundaries() {
+        let mut a = Fnv64::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn is_deterministic_across_instances() {
+        let hash = |x: u64| {
+            let mut h = Fnv64::new();
+            h.write_tag(3).write_u64(x).write_bool(true);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+}

@@ -15,7 +15,8 @@ use std::path::PathBuf;
 
 use redbin::experiments::{self, ExperimentConfig};
 use redbin::json;
-use redbin::workload::Suite;
+use redbin::wire::{scale_name, ExperimentKind, JobSpec};
+use redbin::workload::{Scale, Suite};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
@@ -77,6 +78,46 @@ fn check_golden(name: &str, rendered: &str) {
     );
 }
 
+/// Renders the canonical-hash manifest: the content-addressed job id of
+/// every experiment at every scale, plus the per-model machine-config
+/// hashes behind Figure 9. These ids double as `redbin-served` cache
+/// keys, so any drift silently invalidates every warm cache in the fleet
+/// — pin them like any other golden.
+fn render_hash_manifest() -> String {
+    let mut doc = json::Json::object();
+    doc.set(
+        "note",
+        json::Json::Str(
+            "content-addressed job ids (FNV-1a/64 of the resolved config); \
+             these are redbin-served cache keys — see SERVING.md"
+                .to_string(),
+        ),
+    );
+    let mut jobs = json::Json::object();
+    for &kind in ExperimentKind::all() {
+        if kind == ExperimentKind::Sleep {
+            continue; // sleep ids hash the duration, not a config
+        }
+        for scale in [Scale::Test, Scale::Small, Scale::Full] {
+            let spec = JobSpec::new(kind, scale);
+            jobs.set(
+                &format!("{}-{}", kind.name(), scale_name(scale)),
+                json::Json::Str(spec.job_id()),
+            );
+        }
+    }
+    doc.set("jobs", jobs);
+    let mut machines = json::Json::object();
+    for cfg in JobSpec::new(ExperimentKind::Figure9, Scale::Test).machine_configs() {
+        machines.set(
+            cfg.model.name(),
+            json::Json::Str(format!("{:016x}", cfg.canonical_hash())),
+        );
+    }
+    doc.set("figure9-machines", machines);
+    doc.to_pretty()
+}
+
 #[test]
 fn figure_ipc_w8_spec95_matches_golden() {
     check_golden("figure_ipc_w8_spec95_test.json", &render_figure_ipc());
@@ -85,6 +126,30 @@ fn figure_ipc_w8_spec95_matches_golden() {
 #[test]
 fn figure13_matches_golden() {
     check_golden("figure13_test.json", &render_figure13());
+}
+
+#[test]
+fn canonical_hashes_match_pinned_manifest() {
+    check_golden("canonical_hashes.json", &render_hash_manifest());
+}
+
+#[test]
+fn hash_manifest_is_stable_and_collision_free() {
+    // Same process, two renders: byte-identical. And every pinned id is
+    // distinct — a collision would alias two different cache entries.
+    let text = render_hash_manifest();
+    assert_eq!(text, render_hash_manifest());
+    let doc = json::parse(&text).expect("manifest parses");
+    let json::Json::Obj(jobs) = doc.get("jobs").expect("jobs") else {
+        panic!("jobs is an object")
+    };
+    let mut seen = std::collections::HashSet::new();
+    for (name, id) in jobs {
+        let id = id.as_str().expect("id string");
+        assert_eq!(id.len(), 16, "{name}: 16 hex digits");
+        assert!(seen.insert(id.to_string()), "{name}: duplicate job id {id}");
+    }
+    assert!(seen.len() >= 24, "9 experiments x 3 scales minus sleep");
 }
 
 #[test]
