@@ -1,0 +1,23 @@
+//! CI gate over the three static-analysis passes.
+//!
+//! Exit codes: 0 clean, 1 problems found, 2 usage error.
+
+use redbin_analyze::{parse_args, run, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg == "help" => {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("redbin-analyze: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let (code, report) = run(&opts);
+    print!("{report}");
+    std::process::exit(code);
+}

@@ -1,0 +1,268 @@
+//! Static verification for the redbin workspace.
+//!
+//! Three passes, runnable independently or together (see `ANALYSIS.md` at
+//! the repository root for the full rule catalogue):
+//!
+//! 1. [`netlist`] — structural analysis of the gate-level adders: cycle
+//!    detection, per-output depth under both delay models, fan-out
+//!    histograms, and a static proof of the paper's claim 1 (the RB adder's
+//!    critical path is width-independent and far shorter than the CLA's).
+//! 2. [`bypass`] — reachability analysis of the bypass network implied by
+//!    a [`MachineConfig`]: every operand class must be obtainable, holes
+//!    are classified, and static level support is diffed against the
+//!    simulator's dynamic Figure 14 counters.
+//! 3. [`lint`] — a std-only source lint over the workspace's Rust files
+//!    with named rules and `// redbin-lint: allow(<rule>)` suppressions.
+//!
+//! The `redbin-analyze` binary wires the passes into a CI gate: exit 0
+//! when clean, 1 when any pass finds a problem, 2 on usage errors.
+//!
+//! [`MachineConfig`]: redbin::sim::MachineConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bypass;
+pub mod lint;
+pub mod netlist;
+
+use std::path::PathBuf;
+
+use redbin::json::Json;
+
+/// What `run` should do, parsed from CLI arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Run the netlist pass.
+    pub netlist: bool,
+    /// Run the bypass/config pass.
+    pub bypass: bool,
+    /// Run the source lint pass.
+    pub lint: bool,
+    /// Emit a JSON report instead of text.
+    pub json: bool,
+    /// Workspace root for the lint pass (defaults to the current directory).
+    pub root: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            netlist: false,
+            bypass: false,
+            lint: false,
+            json: false,
+            root: PathBuf::from("."),
+        }
+    }
+}
+
+/// CLI usage, printed on `--help` and argument errors.
+pub const USAGE: &str = "\
+redbin-analyze: static verification of netlists, bypass networks, and sources
+
+USAGE:
+    redbin-analyze [--netlist] [--bypass] [--lint] [--all] [--json] [--root DIR]
+
+FLAGS:
+    --netlist    gate-level pass: cycles, depths, fan-out, claim-1 proof
+    --bypass     config pass: operand reachability over shipped machines
+    --lint       source pass: named rules over workspace .rs files
+    --all        all three passes (default when no pass is selected)
+    --json       machine-readable report on stdout
+    --root DIR   workspace root for --lint (default: .)
+    --help       this text
+
+EXIT CODES:
+    0  every selected pass is clean
+    1  at least one pass found a problem
+    2  usage error
+";
+
+/// Parses CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a message (to print alongside [`USAGE`], exit 2) on unknown
+/// flags or a missing `--root` value. A lone `--help` returns
+/// `Err("help")` by convention — callers print usage and exit 0.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--netlist" => opts.netlist = true,
+            "--bypass" => opts.bypass = true,
+            "--lint" => opts.lint = true,
+            "--all" => all = true,
+            "--json" => opts.json = true,
+            "--root" => match it.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err("--root requires a directory".to_string()),
+            },
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if all || (!opts.netlist && !opts.bypass && !opts.lint) {
+        opts.netlist = true;
+        opts.bypass = true;
+        opts.lint = true;
+    }
+    Ok(opts)
+}
+
+/// Runs the selected passes. Returns `(exit_code, report)` where the
+/// report is JSON or human text per `opts.json` — separated from process
+/// exit so tests can drive it in-process.
+pub fn run(opts: &Options) -> (i32, String) {
+    let mut clean = true;
+    let mut doc = Json::object();
+    doc.set("tool", Json::Str("redbin-analyze".into()));
+    let mut text = String::new();
+
+    if opts.netlist {
+        let pass = netlist::run();
+        clean &= pass.clean();
+        if opts.json {
+            doc.set("netlist", netlist::to_json(&pass));
+        } else {
+            text.push_str(&netlist_text(&pass));
+        }
+    }
+    if opts.bypass {
+        let pass = bypass::run();
+        clean &= pass.clean();
+        if opts.json {
+            doc.set("bypass", bypass::to_json(&pass));
+        } else {
+            text.push_str(&bypass_text(&pass));
+        }
+    }
+    if opts.lint {
+        match lint::run(&opts.root) {
+            Ok(pass) => {
+                clean &= pass.clean();
+                if opts.json {
+                    doc.set("lint", lint::to_json(&pass));
+                } else {
+                    text.push_str(&lint_text(&pass));
+                }
+            }
+            Err(e) => {
+                clean = false;
+                let msg = format!("lint: cannot read workspace: {e}");
+                if opts.json {
+                    let mut o = Json::object();
+                    o.set("pass", Json::Str("lint".into()));
+                    o.set("clean", Json::Bool(false));
+                    o.set("error", Json::Str(msg.clone()));
+                    doc.set("lint", o);
+                } else {
+                    text.push_str(&msg);
+                    text.push('\n');
+                }
+            }
+        }
+    }
+
+    let code = i32::from(!clean);
+    if opts.json {
+        doc.set("clean", Json::Bool(clean));
+        (code, doc.to_pretty())
+    } else {
+        text.push_str(if clean { "analyze: clean\n" } else { "analyze: PROBLEMS FOUND\n" });
+        (code, text)
+    }
+}
+
+fn netlist_text(pass: &netlist::NetlistAnalysis) -> String {
+    let mut s = String::from("== netlist pass ==\n");
+    for c in &pass.circuits {
+        s.push_str(&format!(
+            "  {:<8} gates {:>5}  unit-depth {:>5.1}  fanout-depth {:>6.1}  max-fanout {:>3}{}\n",
+            c.name,
+            c.gates,
+            c.unit_depth,
+            c.fanout_depth,
+            c.max_fanout,
+            if c.cycle.is_some() { "  CYCLE" } else { "" },
+        ));
+    }
+    for claim in &pass.claims {
+        s.push_str(&format!(
+            "  claim1[{}]: rb depth constant = {}, cla64/rb = {:.2} -> {}\n",
+            claim.model,
+            claim.rb_width_independent,
+            claim.cla_over_rb,
+            if claim.holds { "holds" } else { "FAILS" },
+        ));
+    }
+    for p in &pass.problems {
+        s.push_str(&format!("  problem: {p}\n"));
+    }
+    s
+}
+
+fn bypass_text(pass: &bypass::BypassPass) -> String {
+    let mut s = String::from("== bypass pass ==\n");
+    for a in &pass.analyses {
+        s.push_str(&format!(
+            "  {:<40} {}\n",
+            a.machine,
+            if a.sound() { "sound" } else { "UNSOUND" }
+        ));
+        for e in &a.entries {
+            if !e.reachable() {
+                s.push_str(&format!("    unreachable: {}\n", e.class.label()));
+            }
+        }
+    }
+    s
+}
+
+fn lint_text(pass: &lint::LintReport) -> String {
+    let mut s = format!(
+        "== lint pass == ({} files, {} goldens)\n",
+        pass.files_scanned, pass.goldens_checked
+    );
+    for f in &pass.findings {
+        s.push_str(&format!("  {}:{} [{}] {}\n", f.file, f.line, f.rule, f.message));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_selects_all_passes() {
+        let opts = parse_args(&[]).expect("parses");
+        assert!(opts.netlist && opts.bypass && opts.lint);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn single_pass_selection_sticks() {
+        let opts = parse_args(&["--netlist".into(), "--json".into()]).expect("parses");
+        assert!(opts.netlist && !opts.bypass && !opts.lint && opts.json);
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(parse_args(&["--frobnicate".into()]).is_err());
+        assert!(parse_args(&["--root".into()]).is_err());
+        assert_eq!(parse_args(&["--help".into()]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn netlist_and_bypass_passes_are_clean_in_process() {
+        let opts = Options { netlist: true, bypass: true, json: true, ..Options::default() };
+        let (code, report) = run(&opts);
+        assert_eq!(code, 0, "report: {report}");
+        let doc = redbin::json::parse(&report).expect("json report");
+        assert_eq!(doc.get("clean"), Some(&Json::Bool(true)));
+    }
+}

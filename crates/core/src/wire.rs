@@ -15,7 +15,7 @@
 //! second from cache byte-identically.
 
 use redbin_sim::hash::Fnv64;
-use redbin_sim::{DatapathMode, MachineConfig};
+use redbin_sim::{BypassLevels, DatapathMode, MachineConfig};
 use redbin_workload::{Scale, Suite};
 
 use crate::experiments::{self, ExperimentConfig};
@@ -47,6 +47,38 @@ pub fn scale_name(scale: Scale) -> &'static str {
         Scale::Small => "small",
         Scale::Full => "full",
     }
+}
+
+/// Parses a bypass-level configuration from its paper label (`"Full"`,
+/// `"No-2"`, `"No-1,2"`, …) — the inverse of [`BypassLevels::label`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on anything that is not a label
+/// [`BypassLevels::label`] can produce.
+pub fn bypass_from_label(label: &str) -> Result<BypassLevels, WireError> {
+    if label == "Full" {
+        return Ok(BypassLevels::FULL);
+    }
+    let Some(rest) = label.strip_prefix("No-") else {
+        return Err(wire_err(format!(
+            "unknown bypass label `{label}` (expected Full or No-<levels>)"
+        )));
+    };
+    let mut removed = Vec::new();
+    for part in rest.split(',') {
+        match part {
+            "1" => removed.push(1u8),
+            "2" => removed.push(2),
+            "3" => removed.push(3),
+            other => {
+                return Err(wire_err(format!(
+                    "bad bypass level `{other}` in `{label}` (expected 1, 2 or 3)"
+                )))
+            }
+        }
+    }
+    Ok(BypassLevels::without(&removed))
 }
 
 /// Parses a wire scale name.
@@ -167,6 +199,15 @@ pub struct JobSpec {
     pub datapath: DatapathMode,
     /// Milliseconds to sleep — only meaningful for [`ExperimentKind::Sleep`].
     pub sleep_ms: u64,
+    /// Optional override of the bypass-level network, applied to every
+    /// machine the experiment instantiates (`None` keeps each experiment's
+    /// own levels). Carried on the wire as the paper label (`"No-2,3"`).
+    pub bypass: Option<BypassLevels>,
+    /// Drop the TC write-back path on RB machines
+    /// (see `MachineConfig::rb_rf_only`). Combined with a missing BYP-3
+    /// this produces a statically unsound machine, which the server's
+    /// submit-time analysis rejects before queueing.
+    pub rb_rf_only: bool,
 }
 
 impl JobSpec {
@@ -177,6 +218,8 @@ impl JobSpec {
             scale,
             datapath: DatapathMode::Fast,
             sleep_ms: 0,
+            bypass: None,
+            rb_rf_only: false,
         }
     }
 
@@ -187,7 +230,23 @@ impl JobSpec {
             scale: Scale::Test,
             datapath: DatapathMode::Fast,
             sleep_ms: millis,
+            bypass: None,
+            rb_rf_only: false,
         }
+    }
+
+    /// Builder: override the bypass levels on every instantiated machine.
+    #[must_use]
+    pub fn with_bypass(mut self, levels: BypassLevels) -> Self {
+        self.bypass = Some(levels);
+        self
+    }
+
+    /// Builder: request the RB-register-file-only machine layout.
+    #[must_use]
+    pub fn with_rb_rf_only(mut self) -> Self {
+        self.rb_rf_only = true;
+        self
     }
 
     /// The [`ExperimentConfig`] this job resolves to on a server running
@@ -209,7 +268,7 @@ impl JobSpec {
                 .map(|&m| MachineConfig::new(m, width).with_datapath(self.datapath))
                 .collect()
         };
-        match self.kind {
+        let mut out = match self.kind {
             ExperimentKind::Figure9 | ExperimentKind::Figure10 => four_models(8),
             ExperimentKind::Figure11 | ExperimentKind::Figure12 => four_models(4),
             ExperimentKind::Figure13 => {
@@ -235,7 +294,18 @@ impl JobSpec {
             ],
             // Emulator-only / gate-level / synthetic: no timing machine.
             ExperimentKind::Table1 | ExperimentKind::Delays | ExperimentKind::Sleep => Vec::new(),
+        };
+        if let Some(levels) = self.bypass {
+            for m in &mut out {
+                m.bypass = levels;
+            }
         }
+        if self.rb_rf_only {
+            for m in &mut out {
+                m.rb_rf_only = true;
+            }
+        }
+        out
     }
 
     /// The content address of this job: a canonical FNV-1a fold of the
@@ -256,6 +326,18 @@ impl JobSpec {
         }
         if self.kind == ExperimentKind::Sleep {
             h.write_u64(self.sleep_ms);
+        }
+        // Post-v1 fields fold only when non-default so every job id minted
+        // before they existed stays stable (the pinned golden hashes).
+        if let Some(levels) = self.bypass {
+            h.write_tag(0xB1);
+            h.write_bool(levels.l1);
+            h.write_bool(levels.l2);
+            h.write_bool(levels.l3);
+        }
+        if self.rb_rf_only {
+            h.write_tag(0xB2);
+            h.write_bool(true);
         }
         h.finish()
     }
@@ -283,6 +365,12 @@ impl JobSpec {
         );
         if self.kind == ExperimentKind::Sleep {
             o.set("millis", Json::UInt(self.sleep_ms));
+        }
+        if let Some(levels) = self.bypass {
+            o.set("bypass", Json::Str(levels.label()));
+        }
+        if self.rb_rf_only {
+            o.set("rb-rf-only", Json::Bool(true));
         }
         o
     }
@@ -312,11 +400,22 @@ impl JobSpec {
             }
         };
         let sleep_ms = v.get("millis").and_then(Json::as_u64).unwrap_or(0);
+        let bypass = match v.get("bypass").and_then(Json::as_str) {
+            Some(label) => Some(bypass_from_label(label)?),
+            None => None,
+        };
+        let rb_rf_only = match v.get("rb-rf-only") {
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(wire_err("`rb-rf-only` must be a boolean")),
+            None => false,
+        };
         Ok(JobSpec {
             kind,
             scale,
             datapath,
             sleep_ms,
+            bypass,
+            rb_rf_only,
         })
     }
 
@@ -775,6 +874,36 @@ mod tests {
         e.datapath = DatapathMode::Faithful;
         assert_ne!(a.job_id(), e.job_id());
         assert_ne!(JobSpec::sleep(1).job_id(), JobSpec::sleep(2).job_id());
+        // Post-v1 knobs change the id when set…
+        let f = a.with_bypass(BypassLevels::without(&[3]));
+        assert_ne!(a.job_id(), f.job_id());
+        let g = a.with_rb_rf_only();
+        assert_ne!(a.job_id(), g.job_id());
+        assert_ne!(f.job_id(), g.job_id());
+        // …and even on kinds with no timing machines (fold is explicit).
+        let s = JobSpec::sleep(1).with_rb_rf_only();
+        assert_ne!(JobSpec::sleep(1).job_id(), s.job_id());
+    }
+
+    #[test]
+    fn bypass_labels_roundtrip_on_the_wire() {
+        for removed in [&[][..], &[1], &[2], &[3], &[2, 3], &[1, 2, 3]] {
+            let levels = BypassLevels::without(removed);
+            assert_eq!(bypass_from_label(&levels.label()).expect("parses"), levels);
+        }
+        assert!(bypass_from_label("no-2").is_err());
+        assert!(bypass_from_label("No-4").is_err());
+        assert!(bypass_from_label("").is_err());
+
+        let spec = JobSpec::new(ExperimentKind::Figure9, Scale::Test)
+            .with_bypass(BypassLevels::without(&[2, 3]))
+            .with_rb_rf_only();
+        let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
+        assert_eq!(back, spec);
+        for m in back.machine_configs() {
+            assert!(m.rb_rf_only);
+            assert_eq!(m.bypass, BypassLevels::without(&[2, 3]));
+        }
     }
 
     #[test]

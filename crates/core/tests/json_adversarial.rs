@@ -97,6 +97,8 @@ fn every_truncation_of_a_valid_envelope_errors_cleanly() {
         // Object-rooted like every wire envelope: any proper prefix is
         // incomplete, so the strict parser must error on all of them.
         let mut doc = Json::object();
+        // Not a real envelope, just envelope-shaped fuzz input.
+        // redbin-lint: allow(wire-version)
         doc.set("v", Json::UInt(1));
         doc.set("body", random_json(rng, 4));
         let line = doc.to_compact();

@@ -72,7 +72,10 @@ pub fn ripple_carry(n: usize) -> TcAdderCircuit {
 }
 
 /// Builds an `n`-bit carry-lookahead adder in parallel-prefix
-/// (Kogge–Stone) form: O(log n) depth, high fanout in the prefix tree.
+/// (Brent–Kung) form: O(log n) depth with the sparse tree a 2002-era
+/// layout could actually wire (a fully-dense Kogge–Stone assumes free
+/// wires and underestimates a real CLA's depth once decomposed into
+/// 2-input gates).
 ///
 /// # Panics
 ///
@@ -82,7 +85,7 @@ pub fn carry_lookahead(n: usize) -> TcAdderCircuit {
     let mut nl = Netlist::new();
     let a = nl.inputs(n);
     let b = nl.inputs(n);
-    build_prefix_sum(&mut nl, &a, &b, false, None);
+    build_prefix_sum(&mut nl, &a, &b, false, None, PrefixShape::BrentKung);
     TcAdderCircuit { netlist: nl, n }
 }
 
@@ -131,6 +134,82 @@ pub fn carry_select(n: usize, block: usize) -> TcAdderCircuit {
     TcAdderCircuit { netlist: nl, n }
 }
 
+/// The parallel-prefix tree topology used by a prefix adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PrefixShape {
+    /// Dense minimum-depth tree: log₂ n combine levels, heavy wiring.
+    /// Used for the dedicated RB→TC converter datapath, where the design
+    /// goal is the fastest possible carry-propagate subtract.
+    KoggeStone,
+    /// Sparse tree (up-sweep + down-sweep): ~2 log₂ n combine levels with
+    /// bounded wiring — the shape a general-purpose 2002-era CLA layout
+    /// actually resembles once decomposed into 2-input gates.
+    BrentKung,
+}
+
+/// Combines prefix pair `i` with pair `i - d` in place:
+/// `(g, p)ᵢ ← (gᵢ | pᵢ·gᵢ₋d, pᵢ·pᵢ₋d)`.
+fn prefix_combine(nl: &mut Netlist, gp: &mut [(NodeId, NodeId)], i: usize, d: usize) {
+    let (gi, pi) = gp[i];
+    let (gl, pl) = gp[i - d];
+    let t = nl.and(pi, gl);
+    gp[i] = (nl.or(gi, t), nl.and(pi, pl));
+}
+
+/// Computes the inclusive prefix `(G, P)` over per-bit `(g, p)` pairs
+/// with the requested tree topology. Shared by every prefix adder in the
+/// crate (the CLA, the converter, and the staggered adder's stages).
+pub(crate) fn prefix_tree(
+    nl: &mut Netlist,
+    g: &[NodeId],
+    p: &[NodeId],
+    shape: PrefixShape,
+) -> Vec<(NodeId, NodeId)> {
+    let n = g.len();
+    let mut gp: Vec<(NodeId, NodeId)> = g.iter().copied().zip(p.iter().copied()).collect();
+    match shape {
+        PrefixShape::KoggeStone => {
+            let mut d = 1;
+            while d < n {
+                let prev = gp.clone();
+                for i in d..n {
+                    let (gi, pi) = prev[i];
+                    let (gl, pl) = prev[i - d];
+                    let t = nl.and(pi, gl);
+                    gp[i] = (nl.or(gi, t), nl.and(pi, pl));
+                }
+                d *= 2;
+            }
+        }
+        PrefixShape::BrentKung => {
+            // Up-sweep: build power-of-two spans.
+            let mut d = 1;
+            while 2 * d <= n {
+                let mut i = 2 * d - 1;
+                while i < n {
+                    prefix_combine(nl, &mut gp, i, d);
+                    i += 2 * d;
+                }
+                d *= 2;
+            }
+            // Down-sweep: fill in the remaining prefixes.
+            d /= 2;
+            while d >= 1 {
+                let mut i = 3 * d - 1;
+                while i < n {
+                    prefix_combine(nl, &mut gp, i, d);
+                    i += 2 * d;
+                }
+                if d == 1 {
+                    break;
+                }
+                d /= 2;
+            }
+        }
+    }
+    gp
+}
+
 /// Shared prefix-adder construction. If `invert_b` is set, `b` is
 /// complemented (building a subtractor); `cin` forces the carry-in.
 /// When `extra_cin` is `Some(true)`, carry-in is constant 1.
@@ -140,6 +219,7 @@ fn build_prefix_sum(
     b: &[NodeId],
     invert_b: bool,
     extra_cin: Option<bool>,
+    shape: PrefixShape,
 ) {
     let n = a.len();
     let cin = extra_cin.unwrap_or(false);
@@ -151,25 +231,13 @@ fn build_prefix_sum(
         p.push(nl.xor(a[i], bi));
         g.push(nl.and(a[i], bi));
     }
-    // Kogge–Stone prefix tree over (g, p).
-    let mut gg = g.clone();
-    let mut pp = p.clone();
-    let mut d = 1;
-    while d < n {
-        let (prev_g, prev_p) = (gg.clone(), pp.clone());
-        for i in d..n {
-            let t = nl.and(prev_p[i], prev_g[i - d]);
-            gg[i] = nl.or(prev_g[i], t);
-            pp[i] = nl.and(prev_p[i], prev_p[i - d]);
-        }
-        d *= 2;
-    }
+    let gp = prefix_tree(nl, &g, &p, shape);
     // Carries: c_i = G_i | (P_i & cin).
     let cin_node = nl.constant(cin);
     let mut carries = Vec::with_capacity(n);
-    for i in 0..n {
-        let t = nl.and(pp[i], cin_node);
-        carries.push(nl.or(gg[i], t));
+    for &(gg, pp) in &gp {
+        let t = nl.and(pp, cin_node);
+        carries.push(nl.or(gg, t));
     }
     // Sums.
     for i in 0..n {
@@ -252,8 +320,11 @@ pub fn rb_adder(n: usize) -> RbAdderCircuit {
     let ym = nl.inputs(n);
 
     let f = nl.constant(false);
-    let mut tin_p = f; // transfer entering the current slice
+    let t = nl.constant(true);
+    let mut tin_p = f; // transfer entering the current slice…
     let mut tin_m = f;
+    let mut n_tin_p = t; // …and its complement, produced NOR-form by the
+    let mut n_tin_m = t; // slice below so no inverter sits on the sum path
     let mut tout_p = f;
     let mut tout_m = f;
     for i in 0..n {
@@ -278,26 +349,29 @@ pub fn rb_adder(n: usize) -> RbAdderCircuit {
         let no_neg_below = nl.not(neg_below);
         let no_pos_below = nl.not(pos_below);
 
-        // Interim digit w and transfer t.
+        // Interim digit w and transfer t. The complemented forms come
+        // from NOR gates over the product terms (De Morgan), not from an
+        // inverter after the OR — that keeps the sum path at the paper's
+        // seven levels instead of eight.
         let w_p_a = nl.and(p_one, neg_below);
         let w_p_b = nl.and(p_neg_one, no_pos_below);
         let w_plus = nl.or(w_p_a, w_p_b);
+        let n_w_p = nl.nor(w_p_a, w_p_b);
         let w_m_a = nl.and(p_one, no_neg_below);
         let w_m_b = nl.and(p_neg_one, pos_below);
         let w_minus = nl.or(w_m_a, w_m_b);
+        let n_w_m = nl.nor(w_m_a, w_m_b);
         let t_p_b = nl.and(p_one, no_neg_below);
         let t_plus = nl.or(p_two, t_p_b);
+        let n_t_plus = nl.nor(p_two, t_p_b);
         let t_m_b = nl.and(p_neg_one, no_pos_below);
         let t_minus = nl.or(p_neg_two, t_m_b);
+        let n_t_minus = nl.nor(p_neg_two, t_m_b);
 
         // Sum digit s = w + t_in (never conflicting by construction).
-        let n_tin_m = nl.not(tin_m);
-        let n_w_m = nl.not(w_minus);
         let sp_a = nl.and(w_plus, n_tin_m);
         let sp_b = nl.and(tin_p, n_w_m);
         let s_plus = nl.or(sp_a, sp_b);
-        let n_tin_p = nl.not(tin_p);
-        let n_w_p = nl.not(w_plus);
         let sm_a = nl.and(w_minus, n_tin_p);
         let sm_b = nl.and(tin_m, n_w_p);
         let s_minus = nl.or(sm_a, sm_b);
@@ -306,6 +380,8 @@ pub fn rb_adder(n: usize) -> RbAdderCircuit {
         nl.output(format!("sm{i}"), s_minus);
         tin_p = t_plus;
         tin_m = t_minus;
+        n_tin_p = n_t_plus;
+        n_tin_m = n_t_minus;
         if i == n - 1 {
             tout_p = t_plus;
             tout_m = t_minus;
@@ -331,8 +407,9 @@ pub fn rb_to_tc_converter(n: usize) -> TcAdderCircuit {
     let mut nl = Netlist::new();
     let plus = nl.inputs(n);
     let minus = nl.inputs(n);
-    // plus − minus = plus + ¬minus + 1.
-    build_prefix_sum(&mut nl, &plus, &minus, true, Some(true));
+    // plus − minus = plus + ¬minus + 1. The converter is a dedicated
+    // pipeline circuit, so it gets the fastest (dense) prefix shape.
+    build_prefix_sum(&mut nl, &plus, &minus, true, Some(true), PrefixShape::KoggeStone);
     TcAdderCircuit { netlist: nl, n }
 }
 

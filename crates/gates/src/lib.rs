@@ -44,4 +44,4 @@ pub mod netlist;
 pub mod report;
 pub mod staggered;
 
-pub use netlist::{DelayModel, Netlist, NodeId};
+pub use netlist::{DelayModel, Netlist, NodeId, NodeKind};

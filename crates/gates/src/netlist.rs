@@ -7,6 +7,74 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(u32);
 
+impl NodeId {
+    /// The node's position in the netlist's topological creation order
+    /// (inputs, constants and gates share one index space).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a netlist node, without its fan-in wiring — the public
+/// face of [`Node`] used by external analyses (`redbin-analyze` rebuilds
+/// the graph through [`Netlist::node_kind`] / [`Netlist::fanins`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input.
+    Input,
+    /// A constant 0 or 1.
+    Const(bool),
+    /// An inverter.
+    Not,
+    /// A 2-input AND gate.
+    And,
+    /// A 2-input OR gate.
+    Or,
+    /// A 2-input XOR gate.
+    Xor,
+    /// A 2-input NAND gate.
+    Nand,
+    /// A 2-input NOR gate.
+    Nor,
+    /// A 2-input XNOR gate.
+    Xnor,
+    /// A 2:1 multiplexer.
+    Mux,
+}
+
+impl NodeKind {
+    /// Short lowercase name, for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeKind::Input => "input",
+            NodeKind::Const(_) => "const",
+            NodeKind::Not => "not",
+            NodeKind::And => "and",
+            NodeKind::Or => "or",
+            NodeKind::Xor => "xor",
+            NodeKind::Nand => "nand",
+            NodeKind::Nor => "nor",
+            NodeKind::Xnor => "xnor",
+            NodeKind::Mux => "mux",
+        }
+    }
+
+    /// The intrinsic (unloaded) delay of this node kind: simple gates and
+    /// inverters cost 1, compound XOR/XNOR/MUX cost 2, inputs and
+    /// constants cost 0. This is the base delay both [`DelayModel`]s scale.
+    pub fn base_delay(&self) -> f64 {
+        match self {
+            NodeKind::Input | NodeKind::Const(_) => 0.0,
+            NodeKind::Not
+            | NodeKind::And
+            | NodeKind::Or
+            | NodeKind::Nand
+            | NodeKind::Nor => 1.0,
+            NodeKind::Xor | NodeKind::Xnor | NodeKind::Mux => 2.0,
+        }
+    }
+}
+
 /// The kind of a netlist node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Node {
@@ -44,6 +112,22 @@ pub enum DelayModel {
         /// base delay.
         load_factor: f64,
     },
+}
+
+impl DelayModel {
+    /// The delay this model assigns a node of `kind` driving `fanout`
+    /// gate inputs. External analyses use this to recompute arrival
+    /// times over their own graph representation and cross-check
+    /// [`Netlist::critical_path`].
+    pub fn gate_delay(&self, kind: NodeKind, fanout: u32) -> f64 {
+        let scale = match self {
+            DelayModel::UnitGate => 1.0,
+            DelayModel::FanoutAware { load_factor } => {
+                1.0 + load_factor * fanout.saturating_sub(1) as f64
+            }
+        };
+        kind.base_delay() * scale
+    }
 }
 
 /// A combinational gate netlist built in topological order.
@@ -207,6 +291,69 @@ impl Netlist {
         self.outputs.iter().map(|(n, _)| n.as_str())
     }
 
+    /// The total number of nodes (inputs + constants + gates).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Every node id, in topological creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.check(id);
+        match self.nodes[id.0 as usize] {
+            Node::Input => NodeKind::Input,
+            Node::Const(v) => NodeKind::Const(v),
+            Node::Not(_) => NodeKind::Not,
+            Node::And(..) => NodeKind::And,
+            Node::Or(..) => NodeKind::Or,
+            Node::Xor(..) => NodeKind::Xor,
+            Node::Nand(..) => NodeKind::Nand,
+            Node::Nor(..) => NodeKind::Nor,
+            Node::Xnor(..) => NodeKind::Xnor,
+            Node::Mux { .. } => NodeKind::Mux,
+        }
+    }
+
+    /// The fan-in nodes of `id`, in gate-input order (empty for inputs
+    /// and constants; `[sel, a, b]` for a mux).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    pub fn fanins(&self, id: NodeId) -> Vec<NodeId> {
+        self.check(id);
+        match self.nodes[id.0 as usize] {
+            Node::Input | Node::Const(_) => Vec::new(),
+            Node::Not(a) => vec![a],
+            Node::And(a, b)
+            | Node::Or(a, b)
+            | Node::Xor(a, b)
+            | Node::Nand(a, b)
+            | Node::Nor(a, b)
+            | Node::Xnor(a, b) => vec![a, b],
+            Node::Mux { sel, a, b } => vec![sel, a, b],
+        }
+    }
+
+    /// The named outputs with their driving nodes, in registration order.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.outputs.iter().map(|(n, id)| (n.as_str(), *id))
+    }
+
+    /// Each node's fanout (number of gate inputs it drives), indexed by
+    /// [`NodeId::index`].
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        self.fanouts()
+    }
+
     /// Simulates the netlist for the given input assignment (in input
     /// creation order) and returns the named output values.
     ///
@@ -285,20 +432,7 @@ impl Netlist {
         let fanout = self.fanouts();
         let mut t = vec![0.0f64; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
-            let base = match node {
-                Node::Input | Node::Const(_) => 0.0,
-                Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Nand(..) | Node::Nor(..) => {
-                    1.0
-                }
-                Node::Xor(..) | Node::Xnor(..) | Node::Mux { .. } => 2.0,
-            };
-            let scale = match model {
-                DelayModel::UnitGate => 1.0,
-                DelayModel::FanoutAware { load_factor } => {
-                    1.0 + load_factor * (fanout[i].saturating_sub(1)) as f64
-                }
-            };
-            let delay = base * scale;
+            let delay = model.gate_delay(self.node_kind(NodeId(i as u32)), fanout[i]);
             let max_in = match *node {
                 Node::Input | Node::Const(_) => 0.0,
                 Node::Not(a) => t[a.0 as usize],

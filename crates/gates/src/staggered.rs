@@ -114,30 +114,20 @@ fn stage_netlist(part: usize) -> Netlist {
     let b = nl.inputs(part);
     let cin = nl.input();
 
-    // Generate/propagate and Kogge–Stone prefix, with the carry-in folded
-    // in at the end (c_i = G_i | P_i·cin).
+    // Generate/propagate and a parallel-prefix tree (same sparse shape as
+    // the full CLA, so the comparison is apples-to-apples), with the
+    // carry-in folded in at the end (c_i = G_i | P_i·cin).
     let mut g: Vec<NodeId> = Vec::with_capacity(part);
     let mut p: Vec<NodeId> = Vec::with_capacity(part);
     for i in 0..part {
         p.push(nl.xor(a[i], b[i]));
         g.push(nl.and(a[i], b[i]));
     }
-    let mut gg = g.clone();
-    let mut pp = p.clone();
-    let mut d = 1;
-    while d < part {
-        let (pg, ppv) = (gg.clone(), pp.clone());
-        for i in d..part {
-            let t = nl.and(ppv[i], pg[i - d]);
-            gg[i] = nl.or(pg[i], t);
-            pp[i] = nl.and(ppv[i], ppv[i - d]);
-        }
-        d *= 2;
-    }
+    let gp = crate::adders::prefix_tree(&mut nl, &g, &p, crate::adders::PrefixShape::BrentKung);
     let mut carries = Vec::with_capacity(part);
-    for i in 0..part {
-        let t = nl.and(pp[i], cin);
-        carries.push(nl.or(gg[i], t));
+    for &(gg, pp) in &gp {
+        let t = nl.and(pp, cin);
+        carries.push(nl.or(gg, t));
     }
     for i in 0..part {
         let c_in = if i == 0 { cin } else { carries[i - 1] };

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! redbin-submit --server HOST:PORT submit EXPERIMENT [--scale S] [--datapath D]
+//!               [--bypass LEVELS] [--rb-rf-only]
 //!               [--deadline-ms N] [--no-wait] [--json PATH]
 //! redbin-submit --server HOST:PORT sleep MILLIS [--deadline-ms N] [--no-wait]
 //! redbin-submit --server HOST:PORT poll JOB
@@ -27,6 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: redbin-submit --server HOST:PORT \
          (submit EXPERIMENT [--scale test|small|full] [--datapath fast|faithful] \
+         [--bypass Full|No-1|No-2|No-3|No-1,2|No-2,3] [--rb-rf-only] \
          [--deadline-ms N] [--no-wait] [--json PATH] \
          | sleep MILLIS [--deadline-ms N] [--no-wait] \
          | poll JOB | fetch JOB [--json PATH] \
@@ -44,6 +46,8 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 struct Opts {
     scale: Option<String>,
     datapath: Option<String>,
+    bypass: Option<String>,
+    rb_rf_only: bool,
     deadline_ms: Option<u64>,
     no_wait: bool,
     json: Option<std::path::PathBuf>,
@@ -61,6 +65,8 @@ fn parse_opts(args: &[String]) -> Opts {
         match a.as_str() {
             "--scale" => o.scale = Some(next("--scale")),
             "--datapath" => o.datapath = Some(next("--datapath")),
+            "--bypass" => o.bypass = Some(next("--bypass")),
+            "--rb-rf-only" => o.rb_rf_only = true,
             "--deadline-ms" => {
                 o.deadline_ms = Some(
                     next("--deadline-ms")
@@ -85,6 +91,12 @@ fn spec_from(experiment: &str, opts: &Opts) -> JobSpec {
     );
     if let Some(d) = &opts.datapath {
         spec_json.set("datapath", Json::Str(d.clone()));
+    }
+    if let Some(b) = &opts.bypass {
+        spec_json.set("bypass", Json::Str(b.clone()));
+    }
+    if opts.rb_rf_only {
+        spec_json.set("rb-rf-only", Json::Bool(true));
     }
     JobSpec::from_json(&spec_json).unwrap_or_else(|e| fail(e))
 }

@@ -97,6 +97,7 @@ struct Counters {
     submitted: u64,
     deduped: u64,
     rejected: u64,
+    rejected_unsound: u64,
     completed: u64,
     failed: u64,
     expired: u64,
@@ -118,6 +119,25 @@ struct Shared {
     work: Condvar,
     started: Instant,
     completed: Mutex<VecDeque<CompletedJob>>,
+}
+
+/// Locks the shared state, recovering from poisoning: one panicking
+/// handler must not wedge every other connection, and `Inner` is kept
+/// consistent at every await-free critical section, so the data behind a
+/// poisoned lock is still well-formed.
+fn lock_inner(shared: &Shared) -> std::sync::MutexGuard<'_, Inner> {
+    shared
+        .inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Locks the completed-job log with the same poisoning policy.
+fn lock_completed(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<CompletedJob>> {
+    shared
+        .completed
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// A bound-but-not-yet-running job server.
@@ -188,6 +208,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("redbin-worker-{worker}"))
                     .spawn_scoped(scope, move || worker_loop(&shared))
+                    // Startup-only: no pool means no service at all.
+                    // redbin-lint: allow(no-panic)
                     .expect("spawn worker");
             }
             {
@@ -196,6 +218,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name("redbin-reaper".into())
                     .spawn_scoped(scope, move || reaper_loop(&shared, &shutdown))
+                    // Startup-only: deadlines need the reaper to exist.
+                    // redbin-lint: allow(no-panic)
                     .expect("spawn reaper");
             }
 
@@ -205,19 +229,21 @@ impl Server {
                 if self.shutdown.load(Ordering::Relaxed) {
                     begin_drain(shared);
                 }
-                if shared.inner.lock().expect("state").draining {
+                if lock_inner(shared).draining {
                     break;
                 }
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
                         let shared = Arc::clone(shared);
                         let shutdown = Arc::clone(shutdown);
-                        std::thread::Builder::new()
+                        // A failed spawn (thread exhaustion) drops the
+                        // stream, which closes this one connection; the
+                        // server itself keeps accepting.
+                        let _ = std::thread::Builder::new()
                             .name("redbin-conn".into())
                             .spawn_scoped(scope, move || {
                                 let _ = handle_connection(stream, &shared, &shutdown);
-                            })
-                            .expect("spawn connection handler");
+                            });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(20));
@@ -236,7 +262,7 @@ impl Server {
 
 /// Puts the server into draining mode (idempotent).
 fn begin_drain(shared: &Shared) {
-    let mut inner = shared.inner.lock().expect("state");
+    let mut inner = lock_inner(shared);
     inner.draining = true;
     shared.work.notify_all();
 }
@@ -249,10 +275,15 @@ fn outstanding(inner: &Inner) -> u64 {
 fn worker_loop(shared: &Shared) {
     loop {
         let (id, record_spec, cancelled, deadline) = {
-            let mut inner = shared.inner.lock().expect("state");
+            let mut inner = lock_inner(shared);
             loop {
                 if let Some(id) = inner.queue.pop_front() {
-                    let rec = inner.jobs.get_mut(&id).expect("queued job has a record");
+                    // Every queued id has a record (submit inserts both under
+                    // one lock); a missing one means the record was torn down,
+                    // and the only safe move is to skip the orphaned id.
+                    let Some(rec) = inner.jobs.get_mut(&id) else {
+                        continue;
+                    };
                     // Deadline may have passed while queued (the reaper also
                     // sweeps, but this close the last race).
                     if rec
@@ -280,7 +311,7 @@ fn worker_loop(shared: &Shared) {
                 let (guard, _timeout) = shared
                     .work
                     .wait_timeout(inner, Duration::from_millis(100))
-                    .expect("state");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 inner = guard;
             }
         };
@@ -292,7 +323,7 @@ fn worker_loop(shared: &Shared) {
         }));
         let wall_seconds = started.elapsed().as_secs_f64();
 
-        let mut inner = shared.inner.lock().expect("state");
+        let mut inner = lock_inner(shared);
         inner.busy -= 1;
         let was_cancelled = cancelled.load(Ordering::Relaxed);
         let late = deadline.is_some_and(|d| Instant::now() > d);
@@ -328,7 +359,13 @@ fn worker_loop(shared: &Shared) {
             JobState::Done => inner.counters.completed += 1,
             JobState::Failed => inner.counters.failed += 1,
             JobState::Expired => inner.counters.expired += 1,
-            _ => unreachable!("workers only finish into terminal states"),
+            // The arms above construct only terminal states; counting a
+            // non-terminal as failed keeps the books consistent if that
+            // ever changes.
+            JobState::Queued | JobState::Running => {
+                debug_assert!(false, "workers only finish into terminal states");
+                inner.counters.failed += 1;
+            }
         }
         if let Some(rec) = inner.jobs.get_mut(&id) {
             rec.state = state;
@@ -336,7 +373,7 @@ fn worker_loop(shared: &Shared) {
         }
         drop(inner);
 
-        let mut completed = shared.completed.lock().expect("completed log");
+        let mut completed = lock_completed(shared);
         completed.push_back(CompletedJob {
             id,
             spec: record_spec,
@@ -356,7 +393,7 @@ fn reaper_loop(shared: &Shared, shutdown: &AtomicBool) {
     while !shutdown.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(25));
         let now = Instant::now();
-        let mut inner = shared.inner.lock().expect("state");
+        let mut inner = lock_inner(shared);
         let mut expired_ids = Vec::new();
         {
             let Inner { queue, jobs, .. } = &mut *inner;
@@ -469,7 +506,7 @@ fn handle_connection(
                 // Idle tick: keep any partial line buffered, but stop
                 // serving once shutdown begins.
                 if shutdown.load(Ordering::Relaxed)
-                    || shared.inner.lock().expect("state").draining
+                    || lock_inner(shared).draining
                 {
                     return Ok(());
                 }
@@ -504,7 +541,7 @@ fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
             false,
         ),
         Request::Shutdown => {
-            let inner = shared.inner.lock().expect("state");
+            let inner = lock_inner(shared);
             (
                 Response::Bye {
                     draining: outstanding(&inner),
@@ -517,10 +554,21 @@ fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
 
 fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Response {
     let id = spec.job_id();
-    let mut inner = shared.inner.lock().expect("state");
+    // Static soundness gate (outside the lock — it is pure computation):
+    // a config whose bypass network can never deliver some operand class
+    // would wedge or mis-simulate, so it is rejected here with a
+    // structured error instead of being queued to fail later.
+    let unsound = redbin_analyze::bypass::validate_job_configs(&spec.machine_configs()).err();
+    let mut inner = lock_inner(shared);
     if inner.draining {
         return Response::Error {
             message: "server is draining".into(),
+        };
+    }
+    if let Some(e) = unsound {
+        inner.counters.rejected_unsound += 1;
+        return Response::Error {
+            message: e.to_string(),
         };
     }
 
@@ -581,7 +629,7 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
 }
 
 fn handle_poll(job: &str, shared: &Shared) -> Response {
-    let inner = shared.inner.lock().expect("state");
+    let inner = lock_inner(shared);
     // Cache presence alone answers done — the server may have restarted a
     // record away, or the entry may come from an earlier submission.
     if let Some(rec) = inner.jobs.get(job) {
@@ -604,7 +652,7 @@ fn handle_poll(job: &str, shared: &Shared) -> Response {
 }
 
 fn handle_fetch(job: &str, shared: &Shared) -> Response {
-    let inner = shared.inner.lock().expect("state");
+    let inner = lock_inner(shared);
     if let Some(body) = inner.cache.peek(job) {
         return Response::Result {
             job: job.to_string(),
@@ -630,7 +678,7 @@ fn handle_fetch(job: &str, shared: &Shared) -> Response {
 
 /// Builds the `stats` response body.
 fn stats_body(shared: &Shared) -> Json {
-    let inner = shared.inner.lock().expect("state");
+    let inner = lock_inner(shared);
     let mut body = Json::object();
     body.set(
         "uptime-seconds",
@@ -651,6 +699,10 @@ fn stats_body(shared: &Shared) -> Json {
     jobs.set("submitted", Json::UInt(inner.counters.submitted));
     jobs.set("deduped", Json::UInt(inner.counters.deduped));
     jobs.set("rejected", Json::UInt(inner.counters.rejected));
+    jobs.set(
+        "rejected-unsound",
+        Json::UInt(inner.counters.rejected_unsound),
+    );
     jobs.set("completed", Json::UInt(inner.counters.completed));
     jobs.set("failed", Json::UInt(inner.counters.failed));
     jobs.set("expired", Json::UInt(inner.counters.expired));
@@ -664,7 +716,7 @@ fn stats_body(shared: &Shared) -> Json {
     body.set("cache", cache);
     drop(inner);
 
-    let completed = shared.completed.lock().expect("completed log");
+    let completed = lock_completed(shared);
     let rows: Vec<Json> = completed
         .iter()
         .map(|c| {

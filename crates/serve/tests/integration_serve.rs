@@ -170,6 +170,50 @@ fn deadline_expires_queued_and_cancels_running_jobs() {
 }
 
 #[test]
+fn unsound_config_is_rejected_before_queueing() {
+    // The §4.2 pathology: an RB-only register file with bypass level 3
+    // removed leaves TC-needing operands with no conversion path. The
+    // server must answer with a structured rejection at submit time — not
+    // queue a job that can only fail later.
+    let (client, handle) = start_server(ServeConfig::default());
+    let spec = JobSpec::new(ExperimentKind::Figure9, Scale::Test)
+        .with_bypass(redbin::sim::BypassLevels::without(&[3]))
+        .with_rb_rf_only();
+    let id = spec.job_id();
+
+    match client.submit(spec, None).expect("submit gets an answer") {
+        Response::Error { message } => {
+            assert!(
+                message.contains("unsound machine config"),
+                "structured rejection names the cause: {message}"
+            );
+            assert!(message.contains("never obtainable"), "{message}");
+        }
+        other => panic!("expected a rejection envelope, got {other:?}"),
+    }
+
+    // Nothing was queued: the id is unknown, and the rejection is counted
+    // separately from queue-full backpressure.
+    match client.poll(&id) {
+        Ok(Response::Error { message }) => assert!(message.contains("unknown job"), "{message}"),
+        other => panic!("rejected job must not exist, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    let jobs = stats.get("jobs").expect("jobs section");
+    assert_eq!(jobs.get("rejected-unsound").and_then(Json::as_u64), Some(1));
+    assert_eq!(jobs.get("rejected").and_then(Json::as_u64), Some(0));
+    assert_eq!(jobs.get("submitted").and_then(Json::as_u64), Some(0));
+
+    // The same experiment without the pathological overrides is accepted.
+    let ok = client
+        .submit(JobSpec::new(ExperimentKind::Figure9, Scale::Test), None)
+        .expect("sound submit");
+    assert!(matches!(ok, Response::Accepted { .. }));
+
+    shut_down(&client, handle);
+}
+
+#[test]
 fn shutdown_drains_in_flight_jobs() {
     let (client, handle) = start_server(ServeConfig {
         workers: 2,

@@ -57,6 +57,7 @@ pub struct BypassModel {
     model: CoreModel,
     levels: BypassLevels,
     cluster_delay: u64,
+    rb_rf_only: bool,
 }
 
 impl BypassModel {
@@ -66,6 +67,7 @@ impl BypassModel {
             model: config.model,
             levels: config.bypass,
             cluster_delay: config.cluster_delay,
+            rb_rf_only: config.rb_rf_only,
         }
     }
 
@@ -86,6 +88,16 @@ impl BypassModel {
             // The redundant register file: written right after EXE, readable
             // continuously one cycle later.
             return r.ready + 1 + x;
+        }
+        if r.rb && self.rb_rf_only {
+            // Hypothetical machine without TC write-back for redundant
+            // results: no register file ever holds the converted value, so
+            // the RF never starts serving it (see
+            // [`MachineConfig::rb_rf_only`]). TC consumers are left with
+            // the discrete post-conversion bypass slot — if that level is
+            // missing, the operand is unreachable, which is exactly what
+            // the static bypass analysis must catch.
+            return u64::MAX;
         }
         // The TC register file (2-cycle read) serves executions from t+4 —
         // that is exactly why a full network needs three bypass levels. For
@@ -118,6 +130,12 @@ impl BypassModel {
         }
         // Redundant producer.
         if need_tc {
+            if self.rb_rf_only {
+                // No TC write-back: the converted value exists only while
+                // it drains through the post-conversion bypass — a single
+                // discrete slot, never continuous.
+                return self.levels.has(3) && e == r.tc_ready + 1 + x;
+            }
             // The post-conversion level (BYP-3) carries TC from the cycle
             // after conversion until the register file takes over (the
             // value keeps flowing through WB; with the default 2-cycle
@@ -135,7 +153,7 @@ impl BypassModel {
                 // the RB-input ALUs (§4.2) → 2-cycle hole before the RF.
                 self.levels.has(1) && e == r.ready + 1 + x
             }
-            _ => {
+            CoreModel::Baseline | CoreModel::Ideal => {
                 // Non-RB machines never produce redundant results.
                 debug_assert!(false, "rb result on a non-rb machine");
                 false
@@ -171,8 +189,17 @@ impl BypassModel {
                 n += 1;
             }
             if need_tc && self.levels.has(3) {
-                candidates[n] = (r.tc_ready + 1 + x).max(from);
-                n += 1;
+                let slot = r.tc_ready + 1 + x;
+                if self.rb_rf_only {
+                    // Discrete slot only (no WB keeps the value flowing).
+                    if slot >= from {
+                        candidates[n] = slot;
+                        n += 1;
+                    }
+                } else {
+                    candidates[n] = slot.max(from);
+                    n += 1;
+                }
             }
         }
         for &c in &candidates[..n] {
@@ -228,6 +255,39 @@ impl BypassModel {
             return e == r.ready + 1 + self.xdelay(r, consumer_cluster);
         }
         e < self.rf_start(r, need_tc, consumer_cluster)
+    }
+
+    /// Which bypass level (1–3) delivers the operand for an execution
+    /// beginning at `e`, or `None` if the register file serves it (or the
+    /// operand is not available at all at `e`).
+    ///
+    /// This is the dynamic side of the Figure 14 accounting: the static
+    /// reachability analysis derives the *support* of usable levels per
+    /// configuration, and the simulator's per-level usage counters (built
+    /// on this attribution) must stay inside that support.
+    pub fn level_used(
+        &self,
+        r: &ResultTiming,
+        need_tc: bool,
+        consumer_cluster: usize,
+        e: u64,
+    ) -> Option<u8> {
+        if !self.available(r, need_tc, consumer_cluster, e)
+            || !self.from_bypass(r, need_tc, consumer_cluster, e)
+        {
+            return None;
+        }
+        let x = self.xdelay(r, consumer_cluster);
+        if !r.rb {
+            // TC producer: the level is the forwarding distance.
+            return (1..=3u8).find(|&l| self.levels.has(l as u64) && e == r.ready + l as u64 + x);
+        }
+        if need_tc {
+            // Post-conversion forwarding rides the third-level network.
+            return Some(3);
+        }
+        // Redundant consumer of a redundant producer: BYP-1.
+        Some(1)
     }
 }
 
@@ -405,6 +465,50 @@ mod tests {
         assert_eq!(m.unavailable_reason(&r, false, 0, 12), Some(UnavailableReason::Hole));
         assert_eq!(m.unavailable_reason(&r, false, 0, 11), None);
         assert_eq!(m.unavailable_reason(&r, false, 0, 13), None);
+    }
+
+    #[test]
+    fn level_used_attributes_the_forwarding_distance() {
+        let m = BypassModel::new(&MachineConfig::ideal(4));
+        let r = tc_result(10);
+        assert_eq!(m.level_used(&r, false, 0, 11), Some(1));
+        assert_eq!(m.level_used(&r, false, 0, 12), Some(2));
+        assert_eq!(m.level_used(&r, false, 0, 13), Some(3));
+        assert_eq!(m.level_used(&r, false, 0, 14), None, "register file");
+        assert_eq!(m.level_used(&r, false, 0, 10), None, "not available yet");
+        // Redundant producers on the RB machines.
+        let m = BypassModel::new(&MachineConfig::rb_limited(4));
+        let r = rb_result(10);
+        assert_eq!(m.level_used(&r, false, 0, 11), Some(1));
+        assert_eq!(m.level_used(&r, false, 0, 12), None, "hole");
+        assert_eq!(m.level_used(&r, true, 0, 13), Some(3), "post-conversion");
+        assert_eq!(m.level_used(&r, true, 0, 14), None, "register file");
+    }
+
+    #[test]
+    fn rb_rf_only_makes_tc_consumers_slot_limited() {
+        let cfg = MachineConfig::rb_full(4).with_rb_rf_only();
+        let m = BypassModel::new(&cfg);
+        let r = rb_result(10); // tc_ready = 12
+        // Redundant consumers still have the RB register file.
+        for e in 11..20 {
+            assert!(m.available(&r, false, 0, e), "cycle {e}");
+        }
+        // TC consumers get exactly one discrete slot (BYP-3 after CV2) —
+        // no register file ever serves the converted value.
+        assert!(!m.available(&r, true, 0, 12));
+        assert!(m.available(&r, true, 0, 13), "the single post-conversion slot");
+        for e in 14..40 {
+            assert!(!m.available(&r, true, 0, e), "cycle {e} must be a hole forever");
+        }
+        // With the third level also removed the operand is unreachable.
+        let cfg = MachineConfig::rb_full(4)
+            .with_rb_rf_only()
+            .with_bypass(BypassLevels::without(&[3]));
+        let m = BypassModel::new(&cfg);
+        for e in 0..64 {
+            assert!(!m.available(&r, true, 0, e), "cycle {e} must be unreachable");
+        }
     }
 
     #[test]

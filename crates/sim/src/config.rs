@@ -209,6 +209,16 @@ pub struct MachineConfig {
     pub datapath: DatapathMode,
     /// Safety valve: abort if a run exceeds this many cycles (0 = off).
     pub max_cycles: u64,
+    /// Hypothetical RB machine without a 2's-complement write-back path:
+    /// redundant results live only in the RB register file / bypass
+    /// network and are never converted into the TC register file. On such
+    /// a machine a TC-needing consumer of a redundant result can *never*
+    /// obtain its operand from the register file — if the post-conversion
+    /// bypass level is also missing, the operand is statically
+    /// unreachable. This is the deliberately-unsound configuration the
+    /// `redbin-analyze` bypass pass must reject (and `redbin-served`
+    /// refuses to queue). Defaults to `false` on every real machine.
+    pub rb_rf_only: bool,
 }
 
 impl MachineConfig {
@@ -243,6 +253,7 @@ impl MachineConfig {
             steering: SteeringPolicy::RoundRobinPairs,
             datapath: DatapathMode::Fast,
             max_cycles: 0,
+            rb_rf_only: false,
         }
     }
 
@@ -284,6 +295,16 @@ impl MachineConfig {
     #[must_use]
     pub fn with_steering(mut self, steering: SteeringPolicy) -> Self {
         self.steering = steering;
+        self
+    }
+
+    /// Builder: drop the 2's-complement write-back path for redundant
+    /// results (see [`MachineConfig::rb_rf_only`]). The resulting
+    /// configuration is *unsound* on RB machines and exists to exercise
+    /// the static bypass analysis and the server's submit-time rejection.
+    #[must_use]
+    pub fn with_rb_rf_only(mut self) -> Self {
+        self.rb_rf_only = true;
         self
     }
 
@@ -355,7 +376,10 @@ impl MachineConfig {
     /// This is the [`MachineConfig`] half of the serving layer's
     /// content-addressed cache key; see [`crate::hash`] for the stability
     /// contract. Every field of the struct is absorbed — two configurations
-    /// hash equal iff they are `==`.
+    /// hash equal iff they are `==`. Fields added after the original
+    /// layout ([`MachineConfig::rb_rf_only`]) are folded only when they
+    /// differ from their default, so every pre-existing pinned hash
+    /// (`tests/golden/canonical_hashes.json`) is preserved.
     pub fn fold_canonical(&self, h: &mut Fnv64) {
         h.write_tag(0xA0); // domain tag: MachineConfig
         h.write_tag(self.model.canonical_tag());
@@ -391,6 +415,10 @@ impl MachineConfig {
             DatapathMode::Faithful => 1,
         });
         h.write_u64(self.max_cycles);
+        if self.rb_rf_only {
+            h.write_tag(0xA1); // domain tag: post-v1 extension fields
+            h.write_bool(true);
+        }
     }
 
     /// A stable, platform-independent FNV-1a fingerprint of this machine
@@ -526,6 +554,7 @@ mod tests {
                 c.max_cycles = 1;
                 c
             },
+            base.clone().with_rb_rf_only(),
         ];
         for v in variants {
             assert!(

@@ -323,7 +323,7 @@ impl Simulator {
                 self.window_blocked = true;
                 break;
             }
-            let f = self.fetch_q.pop_front().expect("front exists");
+            let Some(f) = self.fetch_q.pop_front() else { break };
             self.steer_counter += 1;
             self.rs_free[scheduler] -= 1;
             let cluster = self.cfg.cluster_of(scheduler);
@@ -524,7 +524,8 @@ impl Simulator {
                 let mut load_decision = LoadDecision::Cache;
                 let mut lsq_blocked = false;
                 if ready && entry.d.inst.op.is_load() {
-                    let addr = entry.d.ea.expect("load has address");
+                    debug_assert!(entry.d.ea.is_some(), "load has an address");
+                    let addr = entry.d.ea.unwrap_or_default();
                     let size = entry.mem_size;
                     load_decision = self.sq.check_load(seq, addr, size, e);
                     if load_decision == LoadDecision::Blocked {
@@ -619,16 +620,18 @@ impl Simulator {
         // Figure 13 accounting first (immutable pass).
         self.record_bypass_stats(seq, e);
 
-        let (op, ea, cluster, mem_size, mispredicted) = {
-            let entry = self.entry(seq).expect("issuing entry exists");
-            (
-                entry.d.inst.op,
-                entry.d.ea,
-                entry.cluster,
-                entry.mem_size,
-                entry.mispredicted,
-            )
+        let Some(entry) = self.entry(seq) else {
+            debug_assert!(false, "issuing entry exists");
+            return;
         };
+        let (op, ea, cluster, mem_size, mispredicted, has_dest) = (
+            entry.d.inst.op,
+            entry.d.ea,
+            entry.cluster,
+            entry.mem_size,
+            entry.mispredicted,
+            entry.d.inst.dest().is_some(),
+        );
         let lat = self.cfg.exec_latency(op);
         let exec_end = e + lat - 1;
 
@@ -636,7 +639,8 @@ impl Simulator {
         let mut complete_at;
         let mut dcache_miss = false;
         if op.is_load() {
-            let addr = ea.expect("load address");
+            debug_assert!(ea.is_some(), "load has an address");
+            let addr = ea.unwrap_or_default();
             let t0 = match load_decision {
                 LoadDecision::Forward(t) => t,
                 _ => {
@@ -653,14 +657,15 @@ impl Simulator {
             });
             complete_at = t0 + 1;
         } else if op.is_store() {
-            let addr = ea.expect("store address");
+            debug_assert!(ea.is_some(), "store has an address");
+            let addr = ea.unwrap_or_default();
             self.sq.set_address(seq, addr, mem_size, e + 1);
             // Completion is checked at retire (needs data too).
             complete_at = u64::MAX;
         } else {
             let rb = self.cfg.result_is_rb(op);
             let tc_ready = exec_end + if rb { self.cfg.conversion_latency } else { 0 };
-            if self.entry(seq).expect("entry").d.inst.dest().is_some() {
+            if has_dest {
                 timing = Some(ResultTiming {
                     ready: exec_end,
                     rb,
@@ -681,7 +686,7 @@ impl Simulator {
         }
 
         let issue_cycle = self.cycle;
-        let entry = self.entry_mut(seq).expect("issuing entry exists");
+        let Some(entry) = self.entry_mut(seq) else { return };
         entry.state = State::Issued;
         entry.dcache_miss = dcache_miss;
         entry.timing = timing;
@@ -694,7 +699,7 @@ impl Simulator {
     }
 
     fn record_bypass_stats(&mut self, seq: u64, e: u64) {
-        let entry = self.entry(seq).expect("entry exists");
+        let Some(entry) = self.entry(seq) else { return };
         if entry.srcs.is_empty() {
             return;
         }
@@ -703,6 +708,7 @@ impl Simulator {
         let mut any_bypassed = false;
         let mut bypassed_ops = 0u64;
         let mut regfile_ops = 0u64;
+        let mut level_counts = [0u64; 3];
         let mut last: Option<(u64, bool, bool)> = None; // (earliest, bypassed, case-rb)
         let mut last_need_tc = false;
         for src in &srcs {
@@ -720,6 +726,10 @@ impl Simulator {
             if bypassed {
                 any_bypassed = true;
                 bypassed_ops += 1;
+                // Figure 14 attribution: which forwarding level served it.
+                if let Some(l) = self.bypass.level_used(r, src.need_tc, cluster, e) {
+                    level_counts[(l - 1) as usize] += 1;
+                }
             } else {
                 regfile_ops += 1;
             }
@@ -730,6 +740,9 @@ impl Simulator {
         }
         self.stats.bypassed_operands += bypassed_ops;
         self.stats.regfile_operands += regfile_ops;
+        for (slot, n) in level_counts.iter().enumerate() {
+            self.stats.bypass_levels[slot] += n;
+        }
         self.stats.bypass_cases.insts_with_sources += 1;
         if any_bypassed {
             self.stats.bypass_cases.insts_with_bypass += 1;
@@ -762,12 +775,13 @@ impl Simulator {
                 if t + 1 > self.cycle {
                     break;
                 }
-                self.mem.commit_store(ea.expect("store address"), self.cycle);
+                debug_assert!(ea.is_some(), "store has an address");
+                self.mem.commit_store(ea.unwrap_or_default(), self.cycle);
                 self.sq.retire(seq);
             } else if complete_at > self.cycle {
                 break;
             }
-            let head = self.ring.pop_front().expect("head exists");
+            let Some(head) = self.ring.pop_front() else { break };
             self.base_seq += 1;
             self.stats.retired += 1;
             self.stats.table1.record(head.d.inst.op);

@@ -172,6 +172,17 @@ impl BypassCase {
             BypassCase::RbToTc => "RB→TC (conversion)",
         }
     }
+
+    /// The case's slot in [`BypassCases`] — an exhaustive match, so adding
+    /// a variant fails to compile instead of silently miscounting.
+    const fn index(self) -> usize {
+        match self {
+            BypassCase::TcToTc => 0,
+            BypassCase::TcToRb => 1,
+            BypassCase::RbToRb => 2,
+            BypassCase::RbToTc => 3,
+        }
+    }
 }
 
 /// Figure 13 accounting: last-arriving bypassed source operands.
@@ -187,14 +198,12 @@ pub struct BypassCases {
 impl BypassCases {
     /// Records the last-arriving bypassed source of one instruction.
     pub fn record(&mut self, case: BypassCase) {
-        let idx = BypassCase::all().iter().position(|c| *c == case).expect("case");
-        self.counts[idx] += 1;
+        self.counts[case.index()] += 1;
     }
 
     /// The count for one case.
     pub fn count(&self, case: BypassCase) -> u64 {
-        let idx = BypassCase::all().iter().position(|c| *c == case).expect("case");
-        self.counts[idx]
+        self.counts[case.index()]
     }
 
     /// The fraction (0–1) of recorded last-arriving bypasses in this case.
@@ -246,6 +255,11 @@ pub struct SimStats {
     pub bypass_cases: BypassCases,
     /// Operands sourced from a bypass level rather than the register file.
     pub bypassed_operands: u64,
+    /// Per-level breakdown of `bypassed_operands`: slot `l-1` counts
+    /// operands served by bypass level `l` (the Figure 14 attribution the
+    /// static analyzer cross-checks). Deliberately not serialized to JSON —
+    /// it is an internal consistency surface, not a reported figure.
+    pub bypass_levels: [u64; 3],
     /// Operands sourced from the register file.
     pub regfile_operands: u64,
     /// Redundant-datapath fidelity assertions that ran (faithful mode).
