@@ -21,6 +21,12 @@
 //! * **`wire-version`** — an envelope site that sets the `"v"` key must
 //!   reference `WIRE_VERSION`, never re-hardcode the number; otherwise a
 //!   protocol bump leaves stale envelopes behind.
+//! * **`instant-now`** — raw `Instant::now()` is forbidden outside
+//!   `crates/telemetry/` (plus test modules and `tests/` directories):
+//!   wall-clock policy — monotonic reads, deadline arithmetic, phase
+//!   timing — lives behind `redbin::telemetry::{Clock, Deadline,
+//!   Stopwatch}` so it stays observable and consistently guarded against
+//!   overflow.
 //! * **`golden-json`** — every `tests/golden/*.json` manifest must parse
 //!   with [`redbin::json::parse`] (the goldens gate byte-identical output,
 //!   so an unparseable golden silently disables its test's protection).
@@ -238,6 +244,12 @@ fn allows(line: &str, rule: &str) -> bool {
 fn scan_rust_file(rel: &str, text: &str, findings: &mut Vec<LintFinding>) {
     let lines: Vec<&str> = text.lines().collect();
     let no_panic = NO_PANIC_FILES.contains(&rel);
+    // `instant-now` exemptions: the telemetry crate is the sanctioned home
+    // of the raw call; integration-test directories poll real servers and
+    // are covered by the test-module exemption in spirit.
+    let lint_instant = !rel.starts_with("crates/telemetry/")
+        && !rel.starts_with("tests/")
+        && !rel.contains("/tests/");
 
     let mut depth: i64 = 0;
     // Depth below which each tracked scope ends: test modules, and open
@@ -332,6 +344,16 @@ fn scan_rust_file(rel: &str, text: &str, findings: &mut Vec<LintFinding>) {
                     );
                 }
             }
+        }
+
+        // Rule: instant-now (everywhere except the telemetry crate).
+        if lint_instant && bare.contains("Instant::now(") {
+            report(
+                line_no,
+                "instant-now",
+                "raw `Instant::now()`; use redbin::telemetry::{Clock, Deadline, Stopwatch}"
+                    .to_string(),
+            );
         }
 
         // Rule: wire-version. A `"v"` envelope assignment with a literal
@@ -533,6 +555,24 @@ fn f(c: Color) -> u8 {
 }
 ";
         assert!(scan("crates/sim/src/anything.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_is_flagged_outside_telemetry() {
+        let src = "let t = std::time::Instant::now();\n";
+        let findings = scan("crates/bench/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "instant-now");
+        // Sanctioned home and test locations are exempt.
+        assert!(scan("crates/telemetry/src/clock.rs", src).is_empty());
+        assert!(scan("tests/integration_pipeline.rs", src).is_empty());
+        assert!(scan("crates/serve/tests/integration_serve.rs", src).is_empty());
+        // Test modules are exempt like every other rule.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = Instant::now(); }\n}\n";
+        assert!(scan("crates/sim/src/core.rs", in_tests).is_empty());
+        // Mentions in strings or comments do not fire.
+        let quoted = "let s = \"Instant::now()\"; // Instant::now()\n";
+        assert!(scan("crates/sim/src/core.rs", quoted).is_empty());
     }
 
     #[test]

@@ -1,40 +1,6 @@
-//! Ablation studies beyond the paper: conversion latency, cluster delay,
-//! and window size sweeps.
-
-use redbin::experiments;
-use redbin::json::{self, Json};
+//! Legacy shim: `repro-ablations` forwards to `redbin-repro ablations`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    println!("Conversion-latency sweep (8-wide RB-full, h-mean IPC over all 20):");
-    let conversion = experiments::conversion_sweep(&cfg, &[1, 2, 3, 4]);
-    for (conv, hm) in &conversion {
-        println!("  CV = {conv} cycles: {hm:.3}");
-    }
-    println!();
-    println!("Inter-cluster delay sweep (8-wide Ideal):");
-    let cluster = experiments::cluster_sweep(&cfg, &[0, 1, 2, 3]);
-    for (d, hm) in &cluster {
-        println!("  +{d} cycles: {hm:.3}");
-    }
-    println!();
-    println!("Window-size sweep (8-wide Ideal):");
-    let window = experiments::window_sweep(&cfg, &[32, 64, 128, 256]);
-    for (w, hm) in &window {
-        println!("  {w} entries: {hm:.3}");
-    }
-    println!();
-    println!("Steering policies on RB-limited (§4.2 future work):");
-    let steering = experiments::steering_comparison(&cfg);
-    for (name, width, hm) in &steering {
-        println!("  {name:>18} w{width}: {hm:.3}");
-    }
-    let window_u64: Vec<(u64, f64)> = window.iter().map(|&(w, hm)| (w as u64, hm)).collect();
-    let mut body = Json::object();
-    body.set("conversion-sweep", json::sweep("conversion-cycles", &conversion));
-    body.set("cluster-sweep", json::sweep("cluster-delay", &cluster));
-    body.set("window-sweep", json::sweep("window-entries", &window_u64));
-    body.set("steering", json::steering(&steering));
-    redbin_bench::emit_json("ablations", cfg.scale, started, None, body);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("ablations", &argv);
 }

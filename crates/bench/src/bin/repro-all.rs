@@ -1,150 +1,6 @@
-//! Runs every table and figure reproduction in sequence — the full
-//! evaluation section of the paper.
-//!
-//! With `--json <path>`, also writes a manifest document containing every
-//! experiment's structured result plus per-experiment wall-clock and
-//! throughput metadata.
-//!
-//! With `--server HOST:PORT` (or `REDBIN_SERVER`), runs as a thin client
-//! instead: every experiment is submitted to a running `redbin-served`,
-//! whose content-addressed cache makes repeated reproductions of an
-//! unchanged configuration nearly free. See SERVING.md.
-
-use std::time::Instant;
-
-use redbin::experiments;
-use redbin::json::{self, Json};
-use redbin::report;
-use redbin::wire::{ExperimentKind, JobSpec};
-
-/// Times one experiment and records `(result-json, wall-seconds)` in the
-/// manifest under `name`.
-fn record(manifest: &mut Json, name: &str, started: Instant, body: Json) {
-    let mut entry = Json::object();
-    entry.set("wall-seconds", Json::Num(started.elapsed().as_secs_f64()));
-    entry.set("result", body);
-    manifest.set(name, entry);
-}
-
-/// Thin-client mode: submit the whole evaluation to `redbin-served` and
-/// collect the structured results into the same manifest shape the local
-/// run produces (plus per-experiment cache-hit flags).
-fn run_remote(addr: &str, args: &redbin_bench::BenchArgs) {
-    let scale = args.effective_scale();
-    let client = redbin_serve::Client::new(addr.to_string());
-    let run_started = Instant::now();
-    let mut manifest = Json::object();
-    let mut hits = 0u64;
-    let plan = [
-        ExperimentKind::Delays,
-        ExperimentKind::Table1,
-        ExperimentKind::Table3,
-        ExperimentKind::Figure9,
-        ExperimentKind::Figure10,
-        ExperimentKind::Figure11,
-        ExperimentKind::Figure12,
-        ExperimentKind::Figure13,
-        ExperimentKind::Figure14,
-    ];
-    for kind in plan {
-        let t = Instant::now();
-        let (job, body, cache_hit) = client
-            .run_to_completion(
-                JobSpec::new(kind, scale),
-                None,
-                std::time::Duration::from_secs(24 * 3600),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("repro-all: {}: {e}", kind.name());
-                std::process::exit(1);
-            });
-        println!(
-            "{:>8}: job {job} done in {:.2}s (cache {})",
-            kind.name(),
-            t.elapsed().as_secs_f64(),
-            if cache_hit { "hit" } else { "miss" }
-        );
-        hits += u64::from(cache_hit);
-        let mut entry = Json::object();
-        entry.set("wall-seconds", Json::Num(t.elapsed().as_secs_f64()));
-        entry.set("cache-hit", Json::Bool(cache_hit));
-        entry.set("result", body);
-        manifest.set(kind.name(), entry);
-    }
-    println!(
-        "all {} experiments done in {:.2}s ({hits} cache hit(s))",
-        plan.len(),
-        run_started.elapsed().as_secs_f64()
-    );
-    manifest.set("server", Json::Str(addr.to_string()));
-    redbin_bench::emit_json("all", scale, run_started, None, manifest);
-}
+//! Legacy shim: `repro-all` forwards to `redbin-repro all`.
 
 fn main() {
-    let args = redbin_bench::cli_args();
-    if let Some(addr) = args.server.clone() {
-        run_remote(&addr, &args);
-        return;
-    }
-    let cfg = redbin_bench::experiment_config();
-    let run_started = Instant::now();
-    let mut manifest = Json::object();
-    let mut instructions = 0u64;
-
-    println!("=== §3.4 delays ===");
-    let t = Instant::now();
-    let delays = experiments::delay_report();
-    print!("{delays}");
-    record(&mut manifest, "delays", t, json::delay_report(&delays));
-    println!();
-
-    println!("=== Table 1 ===");
-    let t = Instant::now();
-    let (merged, per) = experiments::table1(&cfg);
-    print!("{}", report::render_table1(&merged, &per));
-    record(&mut manifest, "table1", t, json::table1(&merged, &per));
-    println!();
-
-    println!("=== Table 3 ===");
-    let t = Instant::now();
-    let rows = experiments::table3();
-    print!("{}", report::render_table3(&rows));
-    record(&mut manifest, "table3", t, json::table3(&rows));
-    println!();
-
-    for (n, run) in [
-        (9, experiments::figure9 as fn(&_) -> _),
-        (10, experiments::figure10),
-        (11, experiments::figure11),
-        (12, experiments::figure12),
-    ] {
-        println!("=== Figure {n} ===");
-        let t = Instant::now();
-        let fig = run(&cfg);
-        print!("{}", report::render_ipc_figure(&fig, &format!("Figure {n}.")));
-        instructions += redbin_bench::figure_instructions(&fig);
-        record(&mut manifest, &format!("figure{n}"), t, json::ipc_figure(&fig));
-        println!();
-    }
-
-    println!("=== Figure 13 ===");
-    let t = Instant::now();
-    let fig13 = experiments::figure13(&cfg);
-    print!("{}", report::render_figure13(&fig13));
-    record(&mut manifest, "figure13", t, json::figure13(&fig13));
-    println!();
-
-    println!("=== Figure 14 ===");
-    let t = Instant::now();
-    let fig14 = experiments::figure14(&cfg);
-    print!("{}", report::render_figure14(&fig14));
-    record(&mut manifest, "figure14", t, json::figure14(&fig14));
-
-    redbin_bench::emit_json(
-        "all",
-        cfg.scale,
-        run_started,
-        Some(instructions),
-        manifest,
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("all", &argv);
 }

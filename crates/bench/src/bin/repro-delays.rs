@@ -1,44 +1,6 @@
-//! Reproduces the §3.4 adder delay comparison from gate-level netlists.
-
-use redbin::experiments;
-use redbin::gates::netlist::DelayModel;
-use redbin::gates::report::DelayReport;
-use redbin::json::{self, Json};
+//! Legacy shim: `repro-delays` forwards to `redbin-repro delays`.
 
 fn main() {
-    let started = std::time::Instant::now();
-    let unit = experiments::delay_report();
-    let fanout = DelayReport::compute(DelayModel::FanoutAware { load_factor: 0.2 }, &[8, 16, 32, 64, 128]);
-    println!("§3.4 critical-path delays (unit-gate model):");
-    print!("{unit}");
-    println!();
-    println!("fan-out-aware model (load factor 0.2):");
-    print!("{fanout}");
-    println!();
-    println!("paper reference points: RB ≈ 3× faster than a 64-bit CLA;");
-    println!("RB→TC converter ≈ 2.7× slower than the RB adder (SPICE, 0.5 µm).");
-    println!();
-    // The static claim-1 proof (redbin-analyze, see ANALYSIS.md): the same
-    // numbers derived independently of DelayReport, per delay model.
-    for model in [DelayModel::UnitGate, redbin_analyze::netlist::FANOUT_MODEL] {
-        let proof = redbin_analyze::netlist::prove_claim1(model);
-        println!(
-            "claim 1 [{}]: rb width-independent = {}, cla64/rb = {:.2} -> {}",
-            proof.model,
-            proof.rb_width_independent,
-            proof.cla_over_rb,
-            if proof.holds { "holds" } else { "FAILS" },
-        );
-    }
-    let mut body = Json::object();
-    body.set("unit-gate", json::delay_report(&unit));
-    body.set("fanout-aware", json::delay_report(&fanout));
-    body.set("static-analysis", redbin_analyze::netlist::depth_report_json());
-    redbin_bench::emit_json(
-        "delays",
-        redbin_bench::scale_from_args(),
-        started,
-        None,
-        body,
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("delays", &argv);
 }

@@ -1,20 +1,6 @@
-//! Reproduces Figure 12: IPC of the four machines.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-fig12` forwards to `redbin-repro figure12`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    let fig = experiments::figure12(&cfg);
-    print!("{}", report::render_ipc_figure(&fig, "Figure 12."));
-    println!();
-    print!("{}", report::render_ipc_bars(&fig));
-    redbin_bench::emit_json(
-        "figure12",
-        cfg.scale,
-        started,
-        Some(redbin_bench::figure_instructions(&fig)),
-        redbin::json::ipc_figure(&fig),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("figure12", &argv);
 }

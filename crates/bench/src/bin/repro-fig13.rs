@@ -1,19 +1,6 @@
-//! Reproduces Figure 13: potentially critical bypass cases on the 8-wide
-//! RB-full machine.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-fig13` forwards to `redbin-repro figure13`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    let fig = experiments::figure13(&cfg);
-    print!("{}", report::render_figure13(&fig));
-    redbin_bench::emit_json(
-        "figure13",
-        cfg.scale,
-        started,
-        None,
-        redbin::json::figure13(&fig),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("figure13", &argv);
 }

@@ -1,18 +1,6 @@
-//! Reproduces Figure 14: harmonic-mean IPC under limited bypass networks.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-fig14` forwards to `redbin-repro figure14`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    let fig = experiments::figure14(&cfg);
-    print!("{}", report::render_figure14(&fig));
-    redbin_bench::emit_json(
-        "figure14",
-        cfg.scale,
-        started,
-        None,
-        redbin::json::figure14(&fig),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("figure14", &argv);
 }

@@ -1,20 +1,6 @@
-//! Reproduces Figure 9: IPC of the four machines.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-fig9` forwards to `redbin-repro figure9`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    let fig = experiments::figure9(&cfg);
-    print!("{}", report::render_ipc_figure(&fig, "Figure 9."));
-    println!();
-    print!("{}", report::render_ipc_bars(&fig));
-    redbin_bench::emit_json(
-        "figure9",
-        cfg.scale,
-        started,
-        Some(redbin_bench::figure_instructions(&fig)),
-        redbin::json::ipc_figure(&fig),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("figure9", &argv);
 }

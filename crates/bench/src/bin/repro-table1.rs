@@ -1,18 +1,6 @@
-//! Reproduces Table 1: dynamic instruction classification by data format.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-table1` forwards to `redbin-repro table1`.
 
 fn main() {
-    let cfg = redbin_bench::experiment_config();
-    let started = std::time::Instant::now();
-    let (merged, per) = experiments::table1(&cfg);
-    print!("{}", report::render_table1(&merged, &per));
-    redbin_bench::emit_json(
-        "table1",
-        cfg.scale,
-        started,
-        Some(merged.total()),
-        redbin::json::table1(&merged, &per),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("table1", &argv);
 }

@@ -1,17 +1,6 @@
-//! Reproduces Table 3: instruction class latencies on each machine.
-
-use redbin::experiments;
-use redbin::report;
+//! Legacy shim: `repro-table3` forwards to `redbin-repro table3`.
 
 fn main() {
-    let started = std::time::Instant::now();
-    let rows = experiments::table3();
-    print!("{}", report::render_table3(&rows));
-    redbin_bench::emit_json(
-        "table3",
-        redbin_bench::scale_from_args(),
-        started,
-        None,
-        redbin::json::table3(&rows),
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    redbin_bench::repro::run_from_argv("table3", &argv);
 }

@@ -7,12 +7,17 @@
 //! * `--json PATH` — write the machine-readable result document;
 //! * `--server HOST:PORT` (or `REDBIN_SERVER`) — client mode: supported
 //!   binaries submit their experiments to a running `redbin-served`
-//!   instead of simulating locally.
+//!   instead of simulating locally;
+//! * `--profile` — `redbin-repro all` only: also write a `BENCH_4.json`
+//!   throughput profile (wall-clock, sims/sec, instrs/sec per figure).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use redbin::prelude::*;
+use redbin::telemetry::{Clock, MetricsRegistry};
+
+pub mod repro;
 
 /// The flags shared by every repro binary.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -23,6 +28,8 @@ pub struct BenchArgs {
     pub json: Option<std::path::PathBuf>,
     /// `redbin-served` address for client mode, if requested.
     pub server: Option<String>,
+    /// Whether to write the `BENCH_4.json` throughput profile.
+    pub profile: bool,
 }
 
 impl BenchArgs {
@@ -74,9 +81,15 @@ pub fn parse_cli(args: &[String]) -> Result<BenchArgs, String> {
             "--scale" => out.scale = Some(parse_scale(&value(&mut it)?)?),
             "--json" => out.json = Some(std::path::PathBuf::from(value(&mut it)?)),
             "--server" => out.server = Some(value(&mut it)?),
+            "--profile" => {
+                if inline.is_some() {
+                    return Err("--profile takes no value".to_string());
+                }
+                out.profile = true;
+            }
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --scale, --json or --server)"
+                    "unknown argument `{other}` (expected --scale, --json, --server or --profile)"
                 ))
             }
         }
@@ -88,7 +101,13 @@ pub fn parse_cli(args: &[String]) -> Result<BenchArgs, String> {
 /// invalid input (the strict behavior the PR-2 satellite requires).
 pub fn cli_args() -> BenchArgs {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = match parse_cli(&argv) {
+    cli_args_from(&argv)
+}
+
+/// [`cli_args`] over an explicit argument list (the `redbin-repro`
+/// multicommand strips its subcommand first and parses the rest here).
+pub fn cli_args_from(argv: &[String]) -> BenchArgs {
+    let mut args = match parse_cli(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -122,42 +141,48 @@ pub fn scale_from_args() -> Scale {
 
 /// The standard experiment configuration for the repro binaries.
 pub fn experiment_config() -> ExperimentConfig {
+    experiment_config_for(&cli_args())
+}
+
+/// The experiment configuration for an already-parsed argument set.
+pub fn experiment_config_for(args: &BenchArgs) -> ExperimentConfig {
     ExperimentConfig {
-        scale: scale_from_args(),
+        scale: args.effective_scale(),
         ..Default::default()
     }
 }
 
-/// `--json PATH` from argv, if given (strict parse; exits non-zero on
-/// invalid argv).
-pub fn json_path_from_args() -> Option<std::path::PathBuf> {
-    cli_args().json
-}
-
 /// If `--json` was given, wraps `body` with run metadata (schema version,
-/// experiment name, scale, wall-clock seconds, and simulated-instruction
-/// throughput when `instructions` is known) and writes it out.
+/// experiment name, scale, wall-clock seconds, a `telemetry` section, and
+/// simulated-instruction throughput when `instructions` is known) and
+/// writes it out.
 ///
 /// # Panics
 ///
 /// Panics if the file cannot be written — a repro run whose results vanish
 /// should fail loudly.
 pub fn emit_json(
+    args: &BenchArgs,
     experiment: &str,
-    scale: Scale,
-    started: std::time::Instant,
+    started: Clock,
     instructions: Option<u64>,
     body: json::Json,
 ) {
-    let Some(path) = json_path_from_args() else { return };
+    let Some(path) = args.json.as_deref() else { return };
     let elapsed = started.elapsed();
-    let mut doc = json::with_meta(experiment, scale, elapsed, body);
+    let secs = elapsed.as_secs_f64();
+    let mut doc = json::with_meta(experiment, args.effective_scale(), elapsed, body);
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("wall-seconds", secs);
     if let Some(n) = instructions {
+        let rate = n as f64 / secs.max(1e-9);
         doc.set("simulated-instructions", json::Json::UInt(n));
-        let rate = n as f64 / elapsed.as_secs_f64().max(1e-9);
         doc.set("instructions-per-second", json::Json::Num(rate));
+        reg.add("simulated-instructions", n);
+        reg.set_gauge("instructions-per-second", rate);
     }
-    json::write_file(&path, &doc)
+    doc.set("telemetry", json::metrics(&reg));
+    json::write_file(path, &doc)
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     eprintln!("json: wrote {}", path.display());
 }
@@ -200,6 +225,15 @@ mod tests {
         assert!(e.contains("unknown scale"), "{e}");
         assert!(parse_scale("FULL").is_err(), "names are case-sensitive");
         assert!(parse_cli(&argv(&["--scale"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn profile_flag_parses_and_takes_no_value() {
+        let a = parse_cli(&argv(&["--profile", "--scale", "test"])).unwrap();
+        assert!(a.profile);
+        assert_eq!(a.scale, Some(Scale::Test));
+        assert!(!parse_cli(&[]).unwrap().profile);
+        assert!(parse_cli(&argv(&["--profile=yes"])).is_err());
     }
 
     #[test]

@@ -132,10 +132,17 @@ impl IpcFigure {
     }
 
     /// The headline ratios: (RB-full / Baseline − 1, 1 − RB-full / Ideal,
-    /// 1 − RB-limited / RB-full), as fractions.
+    /// 1 − RB-limited / RB-full), as fractions. An empty figure (or one
+    /// with a zero harmonic mean) yields 0.0 ratios rather than NaN/inf,
+    /// so JSON documents built from them stay finite.
     pub fn headline_ratios(&self) -> (f64, f64, f64) {
         let hm = self.harmonic_means();
-        (hm[2] / hm[0] - 1.0, 1.0 - hm[2] / hm[3], 1.0 - hm[1] / hm[2])
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 1.0 };
+        (
+            ratio(hm[2], hm[0]) - 1.0,
+            1.0 - ratio(hm[2], hm[3]),
+            1.0 - ratio(hm[1], hm[2]),
+        )
     }
 }
 

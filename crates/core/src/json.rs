@@ -773,6 +773,50 @@ pub fn with_meta(
     ])
 }
 
+/// Serializes a [`MetricsRegistry`](redbin_telemetry::MetricsRegistry):
+/// counters and gauges become flat objects, each histogram an object with
+/// its bounds, raw per-bucket counts (last entry = overflow), sum, and
+/// count. Gauges are sanitised by the registry, so the document never
+/// contains non-finite numbers.
+pub fn metrics(reg: &redbin_telemetry::MetricsRegistry) -> Json {
+    let counters = Json::Obj(
+        reg.counters()
+            .map(|(n, v)| (n.to_string(), Json::UInt(v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        reg.gauges()
+            .map(|(n, v)| (n.to_string(), Json::Num(v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        reg.histograms()
+            .map(|(n, h)| {
+                (
+                    n.to_string(),
+                    obj(vec![
+                        (
+                            "bounds",
+                            Json::Arr(h.bounds().iter().map(|b| Json::UInt(*b)).collect()),
+                        ),
+                        (
+                            "counts",
+                            Json::Arr(h.counts().iter().map(|c| Json::UInt(*c)).collect()),
+                        ),
+                        ("sum", Json::UInt(h.sum())),
+                        ("count", Json::UInt(h.count())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
 /// Writes a document to `path` (pretty-printed, trailing newline).
 ///
 /// # Errors

@@ -24,6 +24,8 @@
 //!   with the `redbin-serve` batch service).
 //! * [`wire`] — newline-delimited request/response envelopes for the
 //!   `redbin-served` job server and its clients.
+//! * [`telemetry`] — metrics (counters, gauges, histograms) and monotonic
+//!   wall-clock timing; see `OBSERVABILITY.md`.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use redbin_arith as arith;
 pub use redbin_gates as gates;
 pub use redbin_isa as isa;
 pub use redbin_sim as sim;
+pub use redbin_telemetry as telemetry;
 pub use redbin_workload as workload;
 
 pub mod experiments;

@@ -22,7 +22,11 @@ use crate::experiments::{self, ExperimentConfig};
 use crate::json::{self, Json};
 
 /// Version of the wire protocol this module speaks.
-pub const WIRE_VERSION: u64 = 1;
+///
+/// History: v1 — submit/poll/fetch/stats/shutdown; v2 — adds the
+/// `METRICS` command (text exposition dump of the server's
+/// [`MetricsRegistry`](redbin_telemetry::MetricsRegistry)).
+pub const WIRE_VERSION: u64 = 2;
 
 /// An error raised while decoding an envelope.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -543,6 +547,8 @@ pub enum Request {
     },
     /// Ask for server statistics.
     Stats,
+    /// Ask for a telemetry dump (text exposition format; wire v2).
+    Metrics,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -570,6 +576,9 @@ impl Request {
             }
             Request::Stats => {
                 o.set("type", Json::Str("stats".into()));
+            }
+            Request::Metrics => {
+                o.set("type", Json::Str("metrics".into()));
             }
             Request::Shutdown => {
                 o.set("type", Json::Str("shutdown".into()));
@@ -604,6 +613,7 @@ impl Request {
             Some("poll") => Ok(Request::Poll { job: job_str(&v)? }),
             Some("fetch") => Ok(Request::Fetch { job: job_str(&v)? }),
             Some("stats") => Ok(Request::Stats),
+            Some("metrics") => Ok(Request::Metrics),
             Some("shutdown") => Ok(Request::Shutdown),
             Some(other) => Err(wire_err(format!("unknown request type `{other}`"))),
             None => Err(wire_err("missing request `type`")),
@@ -659,6 +669,12 @@ pub enum Response {
         /// The statistics document (see `SERVING.md`).
         body: Json,
     },
+    /// A telemetry dump (wire v2).
+    Metrics {
+        /// The registry rendered in the text exposition format (see
+        /// `OBSERVABILITY.md`).
+        text: String,
+    },
     /// The request could not be honored.
     Error {
         /// What went wrong.
@@ -707,6 +723,10 @@ impl Response {
             Response::Stats { body } => {
                 o.set("type", Json::Str("stats".into()));
                 o.set("body", body.clone());
+            }
+            Response::Metrics { text } => {
+                o.set("type", Json::Str("metrics".into()));
+                o.set("text", Json::Str(text.clone()));
             }
             Response::Error { message } => {
                 o.set("type", Json::Str("error".into()));
@@ -772,6 +792,13 @@ impl Response {
                     .cloned()
                     .ok_or_else(|| wire_err("missing `body`"))?,
             }),
+            Some("metrics") => Ok(Response::Metrics {
+                text: v
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| wire_err("missing `text`"))?
+                    .to_string(),
+            }),
             Some("error") => Ok(Response::Error {
                 message: v
                     .get("message")
@@ -806,6 +833,7 @@ mod tests {
             Request::Poll { job: "deadbeef01234567".into() },
             Request::Fetch { job: "deadbeef01234567".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for r in reqs {
@@ -834,6 +862,9 @@ mod tests {
                 body: Json::Obj(vec![("rows".into(), Json::Arr(vec![]))]),
             },
             Response::Stats { body: Json::object() },
+            Response::Metrics {
+                text: "# TYPE jobs counter\njobs 3\n".into(),
+            },
             Response::Error { message: "nope".into() },
             Response::Bye { draining: 3 },
         ];
@@ -846,17 +877,18 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        assert!(Request::from_line(r#"{"v":2,"type":"stats"}"#).is_err());
+        // One below and one far above the version this build speaks.
+        assert!(Request::from_line(r#"{"v":1,"type":"stats"}"#).is_err());
         assert!(Request::from_line(r#"{"type":"stats"}"#).is_err());
         assert!(Response::from_line(r#"{"v":99,"type":"bye"}"#).is_err());
     }
 
     #[test]
     fn unknown_kinds_are_rejected() {
-        assert!(Request::from_line(r#"{"v":1,"type":"frobnicate"}"#).is_err());
+        assert!(Request::from_line(r#"{"v":2,"type":"frobnicate"}"#).is_err());
         assert!(ExperimentKind::from_name("figure99").is_err());
         assert!(scale_from_name("huge").is_err());
-        let bad_spec = r#"{"v":1,"type":"submit","job":{"experiment":"figure9","scale":"huge"}}"#;
+        let bad_spec = r#"{"v":2,"type":"submit","job":{"experiment":"figure9","scale":"huge"}}"#;
         assert!(Request::from_line(bad_spec).is_err());
     }
 

@@ -9,6 +9,7 @@
 //! redbin-submit --server HOST:PORT fetch JOB [--json PATH]
 //! redbin-submit --server HOST:PORT batch MANIFEST.json [--json PATH]
 //! redbin-submit --server HOST:PORT stats
+//! redbin-submit --server HOST:PORT metrics
 //! redbin-submit --server HOST:PORT shutdown
 //! ```
 //!
@@ -32,7 +33,7 @@ fn usage() -> ! {
          [--deadline-ms N] [--no-wait] [--json PATH] \
          | sleep MILLIS [--deadline-ms N] [--no-wait] \
          | poll JOB | fetch JOB [--json PATH] \
-         | batch MANIFEST [--json PATH] | stats | shutdown)"
+         | batch MANIFEST [--json PATH] | stats | metrics | shutdown)"
     );
     std::process::exit(2)
 }
@@ -259,6 +260,13 @@ fn main() -> ExitCode {
         "stats" => match client.stats() {
             Ok(body) => {
                 print!("{}", body.to_pretty());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "metrics" => match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
                 ExitCode::SUCCESS
             }
             Err(e) => fail(e),

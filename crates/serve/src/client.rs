@@ -7,9 +7,10 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use redbin::json::Json;
+use redbin::telemetry::Deadline;
 use redbin::wire::{JobSpec, JobState, Request, Response};
 
 /// A client error.
@@ -167,6 +168,23 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics dump in text exposition format
+    /// (counters, gauges, and the per-job `job-queue-ms` /
+    /// `job-service-ms` histograms).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to metrics: {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and exit; returns the number of jobs it
     /// still had in flight.
     ///
@@ -198,13 +216,13 @@ impl Client {
         deadline_ms: Option<u64>,
         overall_timeout: Duration,
     ) -> Result<(String, Json, bool), ClientError> {
-        let give_up = Instant::now() + overall_timeout;
+        let give_up = Deadline::after(overall_timeout);
         // Submit, backing off on explicit backpressure.
         let (job, cache_hit, mut state) = loop {
             match self.submit(spec, deadline_ms)? {
                 Response::Accepted { job, cache_hit, state } => break (job, cache_hit, state),
                 Response::RetryAfter { seconds } => {
-                    if Instant::now() > give_up {
+                    if give_up.expired() {
                         return Err(ClientError::Timeout("queue stayed full".into()));
                     }
                     // Clamp: the server's suggestion is a politeness floor
@@ -221,7 +239,7 @@ impl Client {
         };
         // Poll to terminal.
         while !state.is_terminal() {
-            if Instant::now() > give_up {
+            if give_up.expired() {
                 return Err(ClientError::Timeout(format!("job {job} still {}", state.name())));
             }
             std::thread::sleep(self.poll_interval);

@@ -26,10 +26,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use redbin::json::Json;
 use redbin::sim::stats::StallCause;
+use redbin::telemetry::{Clock, Deadline, MetricsRegistry, DEFAULT_TIME_BOUNDS_MS};
 use redbin::wire::{JobSpec, JobState, Request, Response};
 
 use crate::cache::ResultCache;
@@ -77,7 +78,8 @@ struct JobRecord {
     spec: JobSpec,
     state: JobState,
     error: Option<String>,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
+    queued_at: Clock,
     cancelled: Arc<AtomicBool>,
 }
 
@@ -117,8 +119,13 @@ struct Shared {
     cfg: ServeConfig,
     inner: Mutex<Inner>,
     work: Condvar,
-    started: Instant,
+    started: Clock,
     completed: Mutex<VecDeque<CompletedJob>>,
+    /// Persistent per-job timing histograms behind the `metrics` request
+    /// (`job-queue-ms`: submit→dequeue wait, `job-service-ms`: worker
+    /// execution time). Counters and gauges are point-in-time snapshots of
+    /// [`Inner`] and are added at render time.
+    metrics: Mutex<MetricsRegistry>,
 }
 
 /// Locks the shared state, recovering from poisoning: one panicking
@@ -140,6 +147,14 @@ fn lock_completed(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Complet
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Locks the metrics registry with the same poisoning policy.
+fn lock_metrics(shared: &Shared) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+    shared
+        .metrics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A bound-but-not-yet-running job server.
 pub struct Server {
     listener: TcpListener,
@@ -157,6 +172,9 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let cache_capacity = cfg.cache_capacity;
+        let mut metrics = MetricsRegistry::new();
+        metrics.register_histogram("job-queue-ms", DEFAULT_TIME_BOUNDS_MS);
+        metrics.register_histogram("job-service-ms", DEFAULT_TIME_BOUNDS_MS);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -170,8 +188,9 @@ impl Server {
                     draining: false,
                 }),
                 work: Condvar::new(),
-                started: Instant::now(),
+                started: Clock::now(),
                 completed: Mutex::new(VecDeque::new()),
+                metrics: Mutex::new(metrics),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -274,7 +293,7 @@ fn outstanding(inner: &Inner) -> u64 {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, record_spec, cancelled, deadline) = {
+        let (id, record_spec, cancelled, deadline, queued_ms) = {
             let mut inner = lock_inner(shared);
             loop {
                 if let Some(id) = inner.queue.pop_front() {
@@ -286,10 +305,7 @@ fn worker_loop(shared: &Shared) {
                     };
                     // Deadline may have passed while queued (the reaper also
                     // sweeps, but this close the last race).
-                    if rec
-                        .deadline
-                        .is_some_and(|d| Instant::now() > d)
-                    {
+                    if rec.deadline.is_some_and(|d| d.expired()) {
                         rec.state = JobState::Expired;
                         rec.error = Some("deadline exceeded while queued".into());
                         inner.counters.expired += 1;
@@ -301,6 +317,7 @@ fn worker_loop(shared: &Shared) {
                         rec.spec,
                         Arc::clone(&rec.cancelled),
                         rec.deadline,
+                        rec.queued_at.elapsed().as_millis() as u64,
                     );
                     inner.busy += 1;
                     break out;
@@ -316,17 +333,23 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let started = Instant::now();
+        let started = Clock::now();
         let threads = shared.cfg.job_threads;
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             record_spec.run(threads, &cancelled)
         }));
-        let wall_seconds = started.elapsed().as_secs_f64();
+        let wall_seconds = started.seconds();
+
+        {
+            let mut metrics = lock_metrics(shared);
+            metrics.observe("job-queue-ms", queued_ms);
+            metrics.observe("job-service-ms", started.elapsed().as_millis() as u64);
+        }
 
         let mut inner = lock_inner(shared);
         inner.busy -= 1;
         let was_cancelled = cancelled.load(Ordering::Relaxed);
-        let late = deadline.is_some_and(|d| Instant::now() > d);
+        let late = deadline.is_some_and(|d| d.expired());
         let (state, error, stall_causes) = match outcome {
             Ok(body) => {
                 let causes = aggregate_stall_causes(&body);
@@ -392,7 +415,6 @@ fn worker_loop(shared: &Shared) {
 fn reaper_loop(shared: &Shared, shutdown: &AtomicBool) {
     while !shutdown.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(25));
-        let now = Instant::now();
         let mut inner = lock_inner(shared);
         let mut expired_ids = Vec::new();
         {
@@ -400,7 +422,7 @@ fn reaper_loop(shared: &Shared, shutdown: &AtomicBool) {
             queue.retain(|id| {
                 let late = jobs
                     .get(id)
-                    .is_some_and(|rec| rec.deadline.is_some_and(|d| now > d));
+                    .is_some_and(|rec| rec.deadline.is_some_and(|d| d.expired()));
                 if late {
                     expired_ids.push(id.clone());
                 }
@@ -415,7 +437,7 @@ fn reaper_loop(shared: &Shared, shutdown: &AtomicBool) {
             }
         }
         for rec in inner.jobs.values_mut() {
-            if rec.state == JobState::Running && rec.deadline.is_some_and(|d| now > d) {
+            if rec.state == JobState::Running && rec.deadline.is_some_and(|d| d.expired()) {
                 rec.cancelled.store(true, Ordering::Relaxed);
             }
         }
@@ -540,6 +562,12 @@ fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
             },
             false,
         ),
+        Request::Metrics => (
+            Response::Metrics {
+                text: metrics_text(shared),
+            },
+            false,
+        ),
         Request::Shutdown => {
             let inner = lock_inner(shared);
             (
@@ -607,7 +635,7 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
     }
 
     let effective_ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
-    let deadline = (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+    let deadline = (effective_ms > 0).then(|| Deadline::after(Duration::from_millis(effective_ms)));
     inner.jobs.insert(
         id.clone(),
         JobRecord {
@@ -615,6 +643,7 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
             state: JobState::Queued,
             error: None,
             deadline,
+            queued_at: Clock::now(),
             cancelled: Arc::new(AtomicBool::new(false)),
         },
     );
@@ -680,10 +709,7 @@ fn handle_fetch(job: &str, shared: &Shared) -> Response {
 fn stats_body(shared: &Shared) -> Json {
     let inner = lock_inner(shared);
     let mut body = Json::object();
-    body.set(
-        "uptime-seconds",
-        Json::Num(shared.started.elapsed().as_secs_f64()),
-    );
+    body.set("uptime-seconds", Json::Num(shared.started.seconds()));
     body.set("workers", Json::UInt(shared.cfg.workers as u64));
     body.set("workers-busy", Json::UInt(inner.busy as u64));
     body.set("queue-depth", Json::UInt(inner.queue.len() as u64));
@@ -747,6 +773,32 @@ fn stats_body(shared: &Shared) -> Json {
     body
 }
 
+/// Builds the text-exposition dump behind the `metrics` request: the
+/// persistent per-job timing histograms plus point-in-time counters and
+/// gauges snapshotted from [`Inner`].
+fn metrics_text(shared: &Shared) -> String {
+    let mut reg = lock_metrics(shared).clone();
+    let inner = lock_inner(shared);
+    reg.add("jobs-submitted", inner.counters.submitted);
+    reg.add("jobs-deduped", inner.counters.deduped);
+    reg.add("jobs-rejected", inner.counters.rejected);
+    reg.add("jobs-rejected-unsound", inner.counters.rejected_unsound);
+    reg.add("jobs-completed", inner.counters.completed);
+    reg.add("jobs-failed", inner.counters.failed);
+    reg.add("jobs-expired", inner.counters.expired);
+    reg.add("cache-hits", inner.cache.hits());
+    reg.add("cache-misses", inner.cache.misses());
+    reg.set_gauge("uptime-seconds", shared.started.seconds());
+    reg.set_gauge("queue-depth", inner.queue.len() as f64);
+    reg.set_gauge("workers-busy", inner.busy as f64);
+    reg.set_gauge(
+        "worker-utilization",
+        inner.busy as f64 / shared.cfg.workers.max(1) as f64,
+    );
+    reg.set_gauge("cache-entries", inner.cache.len() as f64);
+    reg.render_text()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,5 +829,50 @@ mod tests {
     fn stall_aggregation_empty_for_stall_free_bodies() {
         let doc = redbin::json::parse(r#"{"rows":[{"x":1}]}"#).expect("valid");
         assert!(aggregate_stall_causes(&doc).is_empty());
+    }
+
+    fn test_shared() -> Shared {
+        let mut metrics = MetricsRegistry::new();
+        metrics.register_histogram("job-queue-ms", DEFAULT_TIME_BOUNDS_MS);
+        metrics.register_histogram("job-service-ms", DEFAULT_TIME_BOUNDS_MS);
+        Shared {
+            cfg: ServeConfig::default(),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                cache: ResultCache::new(4),
+                counters: Counters::default(),
+                busy: 0,
+                draining: false,
+            }),
+            work: Condvar::new(),
+            started: Clock::now(),
+            completed: Mutex::new(VecDeque::new()),
+            metrics: Mutex::new(metrics),
+        }
+    }
+
+    #[test]
+    fn metrics_request_renders_histograms_and_counters() {
+        let shared = test_shared();
+        lock_metrics(&shared).observe("job-service-ms", 7);
+        lock_inner(&shared).counters.submitted = 3;
+        let (response, drain) = handle_line(&Request::Metrics.to_line(), &shared);
+        assert!(!drain);
+        let Response::Metrics { text } = response else {
+            panic!("expected a metrics response");
+        };
+        assert!(text.contains("# TYPE job-service-ms histogram"));
+        assert!(text.contains("# TYPE job-queue-ms histogram"));
+        assert!(text.contains("jobs-submitted 3"));
+        assert!(text.contains("uptime-seconds"));
+    }
+
+    #[test]
+    fn metrics_text_is_safe_on_an_idle_server() {
+        let shared = test_shared();
+        let text = metrics_text(&shared);
+        assert!(text.contains("job-queue-ms-count 0"));
+        assert!(text.contains("worker-utilization 0"));
     }
 }

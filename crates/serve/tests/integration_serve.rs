@@ -214,6 +214,43 @@ fn unsound_config_is_rejected_before_queueing() {
 }
 
 #[test]
+fn metrics_round_trip_carries_job_histograms() {
+    let (client, handle) = start_server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    // Before any job: the dump renders, histograms exist and are empty.
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("# TYPE job-queue-ms histogram"), "{text}");
+    assert!(text.contains("job-service-ms-count 0"), "{text}");
+    assert!(text.contains("# TYPE uptime-seconds gauge"), "{text}");
+
+    // Run one job; its queue wait and service time must land in the
+    // histograms and the counters must reflect the completion.
+    client
+        .run_to_completion(JobSpec::sleep(30), None, Duration::from_secs(60))
+        .expect("sleep job completes");
+    let text = client.metrics().expect("metrics after job");
+    assert!(text.contains("job-queue-ms-count 1"), "{text}");
+    assert!(text.contains("job-service-ms-count 1"), "{text}");
+    assert!(text.contains("jobs-submitted 1"), "{text}");
+    assert!(text.contains("jobs-completed 1"), "{text}");
+
+    // The same dump round-trips through the redbin-submit CLI.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_redbin-submit"))
+        .args(["--server", client.addr(), "metrics"])
+        .output()
+        .expect("run redbin-submit");
+    assert!(out.status.success(), "redbin-submit metrics failed");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 dump");
+    assert!(stdout.contains("job-service-ms-count 1"), "{stdout}");
+    assert!(stdout.contains("# TYPE jobs-completed counter"), "{stdout}");
+
+    shut_down(&client, handle);
+}
+
+#[test]
 fn shutdown_drains_in_flight_jobs() {
     let (client, handle) = start_server(ServeConfig {
         workers: 2,
@@ -267,14 +304,14 @@ fn external_shutdown_flag_drains_like_sigterm() {
 
 /// Polls `stats` until `pred` holds (10 s cap — generous for CI).
 fn wait_until(client: &Client, pred: impl Fn(&Json) -> bool) {
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let deadline = redbin::telemetry::Deadline::after(Duration::from_secs(10));
     loop {
         let stats = client.stats().expect("stats");
         if pred(&stats) {
             return;
         }
         assert!(
-            std::time::Instant::now() < deadline,
+            !deadline.expired(),
             "condition not reached; last stats: {}",
             stats.to_pretty()
         );
@@ -283,14 +320,14 @@ fn wait_until(client: &Client, pred: impl Fn(&Json) -> bool) {
 }
 
 fn poll_until_terminal(client: &Client, job: &str, timeout: Duration) -> JobState {
-    let deadline = std::time::Instant::now() + timeout;
+    let deadline = redbin::telemetry::Deadline::after(timeout);
     loop {
         match client.poll(job).expect("poll") {
             Response::Status { state, .. } if state.is_terminal() => return state,
             Response::Status { .. } => {}
             other => panic!("unexpected poll reply {other:?}"),
         }
-        assert!(std::time::Instant::now() < deadline, "job {job} never terminal");
+        assert!(!deadline.expired(), "job {job} never terminal");
         std::thread::sleep(Duration::from_millis(20));
     }
 }

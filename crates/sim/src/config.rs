@@ -165,6 +165,13 @@ pub enum DatapathMode {
 }
 
 /// The full machine configuration (Table 2 defaults).
+///
+/// Prefer constructing through [`MachineConfig::builder`] (which returns
+/// a `Result` instead of panicking, and which `redbin-analyze` extends
+/// with a bypass-soundness check via its `SoundBuild` trait). The public
+/// fields remain directly assignable as the *escape hatch* for
+/// deliberately-unsound configurations — tests that must exercise the
+/// analyzer's rejection paths mutate fields the builder would refuse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Which §5.1 core model.
@@ -308,6 +315,20 @@ impl MachineConfig {
         self
     }
 
+    /// Checked construction: like [`new`](Self::new) but deferring the
+    /// width check to [`MachineConfigBuilder::build`], which returns a
+    /// `Result` instead of panicking. `redbin-analyze` layers the bypass
+    /// soundness proof on top (its `SoundBuild::build_sound`), so callers
+    /// that can see the analyzer get a fully validated machine from one
+    /// chain.
+    #[must_use]
+    pub fn builder(model: CoreModel, width: usize) -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            width,
+            cfg: (width == 4 || width == 8).then(|| MachineConfig::new(model, width)),
+        }
+    }
+
     /// Reservation-station entries per scheduler.
     pub fn entries_per_scheduler(&self) -> usize {
         self.window / self.schedulers
@@ -430,6 +451,91 @@ impl MachineConfig {
     }
 }
 
+/// A structurally invalid [`MachineConfig`] request, from
+/// [`MachineConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The paper studies 4- and 8-wide machines only.
+    UnsupportedWidth(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnsupportedWidth(w) => {
+                write!(f, "unsupported machine width {w}: the paper studies 4- and 8-wide")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checked builder from [`MachineConfig::builder`]: collects the same
+/// modifiers as the `with_*` methods but never panics — structural
+/// problems surface as a [`ConfigError`] from [`build`](Self::build).
+///
+/// The modifiers only restyle fields that existed in the original layout,
+/// so a built configuration hashes identically to the equivalent
+/// preset-plus-`with_*` chain (the pinned manifest in
+/// `tests/golden/canonical_hashes.json` stays valid).
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    width: usize,
+    cfg: Option<MachineConfig>,
+}
+
+impl MachineConfigBuilder {
+    fn map(mut self, f: impl FnOnce(MachineConfig) -> MachineConfig) -> Self {
+        self.cfg = self.cfg.take().map(f);
+        self
+    }
+
+    /// Replace the bypass-level configuration (Figure 14).
+    #[must_use]
+    pub fn bypass(self, bypass: BypassLevels) -> Self {
+        self.map(|c| c.with_bypass(bypass))
+    }
+
+    /// Select the datapath fidelity mode.
+    #[must_use]
+    pub fn datapath(self, mode: DatapathMode) -> Self {
+        self.map(|c| c.with_datapath(mode))
+    }
+
+    /// Replace the scheduler steering policy.
+    #[must_use]
+    pub fn steering(self, steering: SteeringPolicy) -> Self {
+        self.map(|c| c.with_steering(steering))
+    }
+
+    /// Drop the 2's-complement write-back path (deliberately unsound on
+    /// RB machines; see [`MachineConfig::rb_rf_only`]).
+    #[must_use]
+    pub fn rb_rf_only(self) -> Self {
+        self.map(MachineConfig::with_rb_rf_only)
+    }
+
+    /// Set the run-away cycle limit (0 disables it).
+    #[must_use]
+    pub fn max_cycles(self, max_cycles: u64) -> Self {
+        self.map(|mut c| {
+            c.max_cycles = max_cycles;
+            c
+        })
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnsupportedWidth`] when the requested width is
+    /// neither 4 nor 8.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        self.cfg.ok_or(ConfigError::UnsupportedWidth(self.width))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +561,45 @@ mod tests {
     #[should_panic(expected = "4- and 8-wide")]
     fn rejects_odd_widths() {
         let _ = MachineConfig::ideal(6);
+    }
+
+    #[test]
+    fn builder_rejects_odd_widths_without_panicking() {
+        let err = MachineConfig::builder(CoreModel::Ideal, 6).build().unwrap_err();
+        assert_eq!(err, ConfigError::UnsupportedWidth(6));
+        assert!(err.to_string().contains("width 6"));
+        // Modifiers on a doomed builder stay inert.
+        let err = MachineConfig::builder(CoreModel::RbFull, 0)
+            .datapath(DatapathMode::Faithful)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::UnsupportedWidth(0));
+    }
+
+    #[test]
+    fn builder_matches_preset_chain_and_hash() {
+        let built = MachineConfig::builder(CoreModel::RbLimited, 8)
+            .datapath(DatapathMode::Faithful)
+            .steering(SteeringPolicy::DependenceAware)
+            .max_cycles(500)
+            .build()
+            .expect("valid width");
+        let mut chained = MachineConfig::rb_limited(8)
+            .with_datapath(DatapathMode::Faithful)
+            .with_steering(SteeringPolicy::DependenceAware);
+        chained.max_cycles = 500;
+        assert_eq!(built, chained);
+        assert_eq!(built.canonical_hash(), chained.canonical_hash());
+    }
+
+    #[test]
+    fn builder_carries_the_unsound_escape_hatch() {
+        let cfg = MachineConfig::builder(CoreModel::RbLimited, 4)
+            .rb_rf_only()
+            .bypass(BypassLevels::without(&[3]))
+            .build()
+            .expect("structurally fine; soundness is the analyzer's job");
+        assert!(cfg.rb_rf_only);
     }
 
     #[test]

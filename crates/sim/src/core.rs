@@ -11,9 +11,10 @@ use crate::bypass::{BypassModel, ResultTiming, UnavailableReason};
 use crate::cache::{MemoryHierarchy, ServedBy};
 use crate::config::{MachineConfig, SteeringPolicy};
 use crate::lsq::{LoadDecision, StoreQueue};
+use crate::observer::{NoopObserver, RetireEvent, SimObserver, Stage, TraceObserver};
 use crate::oracle::{DynInst, Oracle};
 use crate::stats::{BypassCase, SimStats, StallCause};
-use crate::trace::{PipelineTrace, TraceEntry};
+use crate::trace::PipelineTrace;
 
 /// Errors a simulation can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,7 +116,6 @@ pub struct Simulator {
     /// Set by `dispatch` each cycle: a decoded instruction was ready to
     /// enter the window but the ROB or its reservation stations were full.
     window_blocked: bool,
-    trace: Option<PipelineTrace>,
 }
 
 impl Simulator {
@@ -147,54 +147,60 @@ impl Simulator {
             last_writer: [None; 32],
             steer_counter: 0,
             window_blocked: false,
-            trace: None,
         }
     }
 
-    /// Enables per-instruction pipeline tracing (Figures 5/7-style
-    /// diagrams). Only use for short programs — the trace grows with every
-    /// retired instruction.
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(PipelineTrace::new());
-    }
-
     /// Runs to completion and returns both statistics and the pipeline
-    /// trace (empty unless [`enable_trace`](Self::enable_trace) was called).
+    /// trace (Figures 5/7-style diagrams), via a [`TraceObserver`]. Only
+    /// use for short programs — the trace grows with every retired
+    /// instruction.
     ///
     /// # Errors
     ///
     /// Same conditions as [`run`](Self::run).
-    pub fn run_traced(mut self) -> Result<(SimStats, PipelineTrace), SimError> {
-        if self.trace.is_none() {
-            self.enable_trace();
-        }
-        self.run_loop()?;
-        let trace = self.trace.take().unwrap_or_default();
-        Ok((self.finish_stats(), trace))
+    pub fn run_traced(self) -> Result<(SimStats, PipelineTrace), SimError> {
+        let mut tracer = TraceObserver::new();
+        let stats = self.run_observed(&mut tracer)?;
+        Ok((stats, tracer.into_trace()))
     }
 
-    /// Runs to completion and returns the statistics.
+    /// Runs to completion and returns the statistics, observing nothing.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Oracle`] if the program faults and
     /// [`SimError::CycleLimit`] if `cfg.max_cycles` (when nonzero) elapses
     /// first.
-    pub fn run(mut self) -> Result<SimStats, SimError> {
-        self.run_loop()?;
+    pub fn run(self) -> Result<SimStats, SimError> {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// The single run path: every simulation — plain stats, tracing,
+    /// telemetry — goes through here with a different [`SimObserver`].
+    /// The observer is a pure listener; the returned [`SimStats`] are
+    /// identical for every observer (pinned by the golden snapshots and
+    /// the observer-equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_observed<O: SimObserver>(mut self, obs: &mut O) -> Result<SimStats, SimError> {
+        self.run_loop(obs)?;
         Ok(self.finish_stats())
     }
 
-    fn run_loop(&mut self) -> Result<(), SimError> {
+    fn run_loop<O: SimObserver>(&mut self, obs: &mut O) -> Result<(), SimError> {
         loop {
             self.cycle += 1;
             if self.cfg.max_cycles != 0 && self.cycle > self.cfg.max_cycles {
                 return Err(SimError::CycleLimit(self.cfg.max_cycles));
             }
-            self.retire();
-            self.dispatch();
-            self.issue();
-            self.fetch()?;
+            obs.on_cycle(self.cycle);
+            self.retire(obs);
+            self.dispatch(obs);
+            self.issue(obs);
+            obs.on_stage(Stage::Execute, self.ring.len());
+            self.fetch(obs)?;
             if self.oracle_done
                 && self.peeked.is_none()
                 && self.fetch_q.is_empty()
@@ -233,7 +239,7 @@ impl Simulator {
         Ok(self.peeked)
     }
 
-    fn fetch(&mut self) -> Result<(), SimError> {
+    fn fetch<O: SimObserver>(&mut self, obs: &mut O) -> Result<(), SimError> {
         if self.cycle < self.fetch_resume || self.redirect_branch.is_some() {
             return Ok(());
         }
@@ -296,12 +302,13 @@ impl Simulator {
             }
         }
         self.stats.fetch_hist[fetched.min(8)] += 1;
+        obs.on_stage(Stage::Fetch, fetched);
         Ok(())
     }
 
     // ---- dispatch ----------------------------------------------------------
 
-    fn dispatch(&mut self) {
+    fn dispatch<O: SimObserver>(&mut self, obs: &mut O) {
         let mut dispatched = 0usize;
         self.window_blocked = false;
         while dispatched < self.cfg.front_width {
@@ -393,6 +400,7 @@ impl Simulator {
             dispatched += 1;
         }
         self.stats.dispatch_hist[dispatched.min(8)] += 1;
+        obs.on_stage(Stage::Rename, dispatched);
     }
 
     /// Dependence-aware steering: on a clustered machine, place each
@@ -476,7 +484,7 @@ impl Simulator {
         }
     }
 
-    fn issue(&mut self) {
+    fn issue<O: SimObserver>(&mut self, obs: &mut O) {
         // Resolve pending store data lazily each cycle.
         let store_seqs: Vec<u64> = self
             .ring
@@ -538,7 +546,7 @@ impl Simulator {
                     picked += 1;
                     // `check_load` counters are already bumped; carry the
                     // decision so issue_one does not probe the queue again.
-                    self.issue_one(seq, e, load_decision);
+                    self.issue_one(seq, e, load_decision, obs);
                     any_issued = true;
                     self.waiting[s].remove(i);
                     continue;
@@ -564,6 +572,7 @@ impl Simulator {
             self.stats.idle_issue_cycles += 1;
         }
         self.stats.issue_hist[issued_count.min(8)] += 1;
+        obs.on_stage(Stage::Issue, issued_count);
     }
 
     /// Attributes an unused issue slot: why could the oldest still-waiting
@@ -616,9 +625,15 @@ impl Simulator {
         worst.map_or(StallCause::OperandWait, |(_, c)| c)
     }
 
-    fn issue_one(&mut self, seq: u64, e: u64, load_decision: LoadDecision) {
+    fn issue_one<O: SimObserver>(
+        &mut self,
+        seq: u64,
+        e: u64,
+        load_decision: LoadDecision,
+        obs: &mut O,
+    ) {
         // Figure 13 accounting first (immutable pass).
-        self.record_bypass_stats(seq, e);
+        self.record_bypass_stats(seq, e, obs);
 
         let Some(entry) = self.entry(seq) else {
             debug_assert!(false, "issuing entry exists");
@@ -698,7 +713,7 @@ impl Simulator {
         self.rs_free[scheduler] += 1;
     }
 
-    fn record_bypass_stats(&mut self, seq: u64, e: u64) {
+    fn record_bypass_stats<O: SimObserver>(&mut self, seq: u64, e: u64, obs: &mut O) {
         let Some(entry) = self.entry(seq) else { return };
         if entry.srcs.is_empty() {
             return;
@@ -729,6 +744,7 @@ impl Simulator {
                 // Figure 14 attribution: which forwarding level served it.
                 if let Some(l) = self.bypass.level_used(r, src.need_tc, cluster, e) {
                     level_counts[(l - 1) as usize] += 1;
+                    obs.on_bypass(l, BypassCase::classify(r.rb, src.need_tc));
                 }
             } else {
                 regfile_ops += 1;
@@ -758,7 +774,7 @@ impl Simulator {
 
     // ---- retire --------------------------------------------------------------
 
-    fn retire(&mut self) {
+    fn retire<O: SimObserver>(&mut self, obs: &mut O) {
         let mut n = 0usize;
         while n < self.cfg.front_width {
             let Some(head) = self.ring.front() else { break };
@@ -785,27 +801,26 @@ impl Simulator {
             self.base_seq += 1;
             self.stats.retired += 1;
             self.stats.table1.record(head.d.inst.op);
-            if let Some(trace) = self.trace.as_mut() {
-                let (rb, tc_ready) = match &head.timing {
-                    Some(t) => (t.rb, t.tc_ready),
-                    None => (false, head.exec_end),
-                };
-                trace.push(TraceEntry {
-                    seq: head.d.seq,
-                    pc: head.d.pc,
-                    text: head.d.inst.to_string(),
-                    fetch: head.fetch_cycle,
-                    dispatch: head.dispatch_cycle,
-                    issue: head.issue_cycle,
-                    exec_start: head.exec_start,
-                    exec_end: head.exec_end,
-                    tc_ready,
-                    rb,
-                    retire: self.cycle,
-                });
-            }
+            let (rb, tc_ready) = match &head.timing {
+                Some(t) => (t.rb, t.tc_ready),
+                None => (false, head.exec_end),
+            };
+            obs.on_retire(&RetireEvent {
+                cycle: self.cycle,
+                seq: head.d.seq,
+                pc: head.d.pc,
+                inst: &head.d.inst,
+                fetch: head.fetch_cycle,
+                dispatch: head.dispatch_cycle,
+                issue: head.issue_cycle,
+                exec_start: head.exec_start,
+                exec_end: head.exec_end,
+                tc_ready,
+                rb,
+            });
             n += 1;
         }
+        obs.on_stage(Stage::Retire, n);
     }
 }
 

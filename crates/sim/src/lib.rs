@@ -51,10 +51,17 @@ pub mod config;
 pub mod core;
 pub mod hash;
 pub mod lsq;
+pub mod observer;
 pub mod oracle;
 pub mod stats;
 pub mod trace;
 
-pub use config::{BypassLevels, CoreModel, DatapathMode, MachineConfig, SteeringPolicy};
+pub use config::{
+    BypassLevels, ConfigError, CoreModel, DatapathMode, MachineConfig, MachineConfigBuilder,
+    SteeringPolicy,
+};
 pub use core::Simulator;
+pub use observer::{
+    NoopObserver, RetireEvent, SimObserver, Stage, StatsObserver, TelemetryObserver, TraceObserver,
+};
 pub use stats::SimStats;

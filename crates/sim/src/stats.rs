@@ -175,7 +175,7 @@ impl BypassCase {
 
     /// The case's slot in [`BypassCases`] — an exhaustive match, so adding
     /// a variant fails to compile instead of silently miscounting.
-    const fn index(self) -> usize {
+    pub const fn index(self) -> usize {
         match self {
             BypassCase::TcToTc => 0,
             BypassCase::TcToRb => 1,

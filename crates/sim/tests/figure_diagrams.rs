@@ -29,8 +29,7 @@ fn figure4_program() -> (Program, [u64; 4]) {
 
 fn run_traced(cfg: MachineConfig) -> PipelineTrace {
     let (program, _) = figure4_program();
-    let mut sim = Simulator::new(cfg, &program);
-    sim.enable_trace();
+    let sim = Simulator::new(cfg, &program);
     let (_stats, trace) = sim.run_traced().expect("runs");
     trace
 }
@@ -125,8 +124,7 @@ fn rendered_diagram_shows_the_conversion_pipeline() {
 #[test]
 fn trace_is_complete_and_ordered() {
     let (program, _) = figure4_program();
-    let mut sim = Simulator::new(MachineConfig::ideal(4), &program);
-    sim.enable_trace();
+    let sim = Simulator::new(MachineConfig::ideal(4), &program);
     let (stats, trace) = sim.run_traced().expect("runs");
     assert_eq!(trace.entries().len() as u64, stats.retired);
     for w in trace.entries().windows(2) {

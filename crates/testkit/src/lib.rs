@@ -158,7 +158,9 @@ pub mod bench {
     //! and print one line each: median and minimum time per iteration.
 
     use std::hint::black_box;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
+
+    use redbin_telemetry::{Clock, Stopwatch};
 
     pub use std::hint::black_box as bb;
 
@@ -192,7 +194,7 @@ pub mod bench {
         /// Measures `f`, printing `name: median .. (min ..)` per iteration.
         pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
             // Warm up and estimate a per-iteration cost.
-            let warm_start = Instant::now();
+            let warm_start = Clock::now();
             let mut iters_done = 0u64;
             while warm_start.elapsed() < self.warmup || iters_done < 10 {
                 black_box(f());
@@ -203,12 +205,13 @@ pub mod bench {
                 (self.sample_time.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
 
             let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+            let mut watch = Stopwatch::start();
             for _ in 0..self.samples {
-                let t = Instant::now();
+                watch.lap();
                 for _ in 0..iters_per_sample {
                     black_box(f());
                 }
-                samples_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+                samples_ns.push(watch.lap().as_nanos() as f64 / iters_per_sample as f64);
             }
             samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             let median = samples_ns[samples_ns.len() / 2];

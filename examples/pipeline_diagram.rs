@@ -21,8 +21,7 @@ fn figure4_program() -> Program {
 }
 
 fn show(title: &str, config: MachineConfig) {
-    let mut sim = Simulator::new(config, &figure4_program());
-    sim.enable_trace();
+    let sim = Simulator::new(config, &figure4_program());
     let (_stats, trace) = sim.run_traced().expect("runs");
     println!("{title}");
     print!("{}", trace.render(&[1, 2, 3, 4]));

@@ -8,7 +8,10 @@ use redbin::prelude::*;
 
 fn run(b: Benchmark, mode: DatapathMode) -> SimStats {
     let program = b.program(Scale::Test);
-    let cfg = MachineConfig::rb_full(8).with_datapath(mode);
+    let cfg = MachineConfig::builder(CoreModel::RbFull, 8)
+        .datapath(mode)
+        .build()
+        .expect("supported width");
     Simulator::new(cfg, &program).run().expect("benchmark runs")
 }
 
@@ -35,18 +38,18 @@ fn fast_and_faithful_timing_is_identical_on_every_benchmark() {
 fn fast_and_faithful_agree_on_the_narrow_machine_too() {
     for b in [Benchmark::Go, Benchmark::Gzip, Benchmark::Perlbmk] {
         let program = b.program(Scale::Test);
-        let fast = Simulator::new(
-            MachineConfig::rb_limited(4).with_datapath(DatapathMode::Fast),
-            &program,
-        )
-        .run()
-        .expect("runs");
-        let mut faithful = Simulator::new(
-            MachineConfig::rb_limited(4).with_datapath(DatapathMode::Faithful),
-            &program,
-        )
-        .run()
-        .expect("runs");
+        let narrow = |mode| {
+            MachineConfig::builder(CoreModel::RbLimited, 4)
+                .datapath(mode)
+                .build()
+                .expect("supported width")
+        };
+        let fast = Simulator::new(narrow(DatapathMode::Fast), &program)
+            .run()
+            .expect("runs");
+        let mut faithful = Simulator::new(narrow(DatapathMode::Faithful), &program)
+            .run()
+            .expect("runs");
         faithful.fidelity_checks = 0;
         assert_eq!(fast, faithful, "{b:?} (4-wide RB-limited)");
     }

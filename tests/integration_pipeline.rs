@@ -6,7 +6,10 @@ use redbin::sim::stats::harmonic_mean;
 
 fn ipc(model: CoreModel, width: usize, b: Benchmark, scale: Scale) -> f64 {
     let program = b.program(scale);
-    Simulator::new(MachineConfig::new(model, width), &program)
+    let config = MachineConfig::builder(model, width)
+        .build()
+        .unwrap_or_else(|e| panic!("{model} w{width}: {e}"));
+    Simulator::new(config, &program)
         .run()
         .unwrap_or_else(|e| panic!("{b:?} on {model}: {e}"))
         .ipc()
@@ -66,10 +69,11 @@ fn removing_first_level_bypass_hurts_most() {
     // Figure 14's key shape on one add-latency-critical kernel.
     let program = Benchmark::Gap.program(Scale::Small);
     let run = |levels: BypassLevels| {
-        Simulator::new(MachineConfig::ideal(4).with_bypass(levels), &program)
-            .run()
-            .expect("runs")
-            .ipc()
+        let config = MachineConfig::builder(CoreModel::Ideal, 4)
+            .bypass(levels)
+            .build()
+            .expect("supported width");
+        Simulator::new(config, &program).run().expect("runs").ipc()
     };
     let full = run(BypassLevels::FULL);
     let no1 = run(BypassLevels::without(&[1]));
@@ -120,9 +124,10 @@ fn fp_bound_kernels_are_insensitive_to_adders() {
 #[test]
 fn stats_are_internally_consistent() {
     let program = Benchmark::Perl.program(Scale::Small);
-    let stats = Simulator::new(MachineConfig::rb_full(8), &program)
-        .run()
-        .expect("runs");
+    let config = MachineConfig::builder(CoreModel::RbFull, 8)
+        .build()
+        .expect("supported width");
+    let stats = Simulator::new(config, &program).run().expect("runs");
     assert_eq!(stats.table1.total(), stats.retired);
     assert!(stats.cycles > 0);
     assert!(stats.dcache_accesses >= stats.dcache_misses);
