@@ -8,7 +8,7 @@
 //! * `--server HOST:PORT` (or `REDBIN_SERVER`) — client mode: supported
 //!   binaries submit their experiments to a running `redbin-served`
 //!   instead of simulating locally;
-//! * `--profile` — `redbin-repro all` only: also write a `BENCH_4.json`
+//! * `--profile` — `redbin-repro all` only: also write a `BENCH_5.json`
 //!   throughput profile (wall-clock, sims/sec, instrs/sec per figure).
 
 #![forbid(unsafe_code)]
@@ -28,7 +28,7 @@ pub struct BenchArgs {
     pub json: Option<std::path::PathBuf>,
     /// `redbin-served` address for client mode, if requested.
     pub server: Option<String>,
-    /// Whether to write the `BENCH_4.json` throughput profile.
+    /// Whether to write the `BENCH_5.json` throughput profile.
     pub profile: bool,
 }
 

@@ -13,7 +13,7 @@
 //! The old binary names (`repro-fig9`, `repro-all`, …) remain as thin
 //! shims that forward to [`run`], so existing scripts keep working.
 //!
-//! `all --profile` additionally writes `BENCH_4.json`: per-experiment
+//! `all --profile` additionally writes `BENCH_5.json`: per-experiment
 //! wall-clock, simulation counts, and throughput (simulations/second and
 //! simulated instructions/second), plus whole-run totals.
 
@@ -225,7 +225,7 @@ fn run_ablations(cfg: &experiments::ExperimentConfig) -> Outcome {
     }
 }
 
-/// One `BENCH_4.json` line: what an experiment cost and delivered.
+/// One `BENCH_5.json` line: what an experiment cost and delivered.
 struct ProfileRow {
     name: &'static str,
     wall_seconds: f64,
@@ -300,10 +300,10 @@ fn run_all(args: &BenchArgs) {
     }
 }
 
-/// Writes `BENCH_4.json` beside the working directory: the per-experiment
+/// Writes `BENCH_5.json` beside the working directory: the per-experiment
 /// and whole-run throughput profile of an `all --profile` run.
 fn write_profile(args: &BenchArgs, run_started: Clock, rows: &[ProfileRow]) {
-    let path = std::path::Path::new("BENCH_4.json");
+    let path = std::path::Path::new("BENCH_5.json");
     let mut experiments = Json::object();
     for row in rows {
         experiments.set(row.name, row.to_json());

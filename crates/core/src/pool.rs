@@ -8,7 +8,6 @@
 //! golden-snapshot tests rely on.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Runs `n` independent jobs on a small thread pool, preserving order.
 ///
@@ -16,37 +15,60 @@ use std::sync::Mutex;
 /// workers (clamped to `1..=n`). The returned vector has `f(i)` at index
 /// `i` — output order never depends on scheduling.
 ///
+/// Each worker accumulates `(index, result)` pairs in its own local
+/// buffer — there is no shared lock on the result path (the previous
+/// implementation serialized every write through one global
+/// `Mutex<Vec<Option<T>>>`). The buffers are merged into index order
+/// after the scope joins.
+///
 /// # Panics
 ///
 /// Propagates panics from the job function: if any `f(i)` panics, the
 /// panic resurfaces on the caller's thread once the scope joins (no
-/// deadlock, no silently missing results).
+/// deadlock, no silently missing results). When several jobs panic, the
+/// first spawned worker's panic wins.
 pub fn run_jobs<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = threads.clamp(1, n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                // A worker that panicked inside `f` poisons this mutex;
-                // surviving workers unwind too (via the expect) and the
-                // scope re-raises the original panic at join.
-                results.lock().expect("a sibling job panicked")[i] = Some(out);
-            });
+    let locals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut locals = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                Ok(local) => locals.push(local),
+                // Re-raise the worker's own panic payload on the caller's
+                // thread (joining first keeps the scope from re-raising).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
+        locals
     });
-    results
-        .into_inner()
-        .expect("a job panicked")
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in locals.into_iter().flatten() {
+        debug_assert!(slots.get(i).is_some_and(Option::is_none), "job {i} ran twice");
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(out);
+        }
+    }
+    slots
         .into_iter()
         .map(|o| o.expect("job completed"))
         .collect()

@@ -5,6 +5,67 @@ use core::fmt;
 use crate::opcode::Opcode;
 use crate::reg::Reg;
 
+/// A fixed-capacity list of source registers.
+///
+/// No instruction reads more than three registers (conditional moves read
+/// `ra`, `rb`, and the old `rc`), so the list lives inline and building it
+/// never touches the heap. Produced by [`Inst::source_regs`]; dereferences
+/// to a `[Reg]` slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceRegs {
+    regs: [Reg; 3],
+    len: u8,
+}
+
+impl Default for SourceRegs {
+    fn default() -> Self {
+        SourceRegs::new()
+    }
+}
+
+impl SourceRegs {
+    /// An empty list.
+    pub fn new() -> Self {
+        SourceRegs {
+            regs: [Reg::R31; 3],
+            len: 0,
+        }
+    }
+
+    /// Appends a register. The capacity (three) is sized to the widest
+    /// instruction format; appending beyond it is a caller bug and the
+    /// register is dropped in release builds.
+    pub fn push(&mut self, r: Reg) {
+        debug_assert!((self.len as usize) < self.regs.len(), "over capacity");
+        if let Some(slot) = self.regs.get_mut(self.len as usize) {
+            *slot = r;
+            self.len += 1;
+        }
+    }
+
+    /// The registers as a slice, in push order.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl core::ops::Deref for SourceRegs {
+    type Target = [Reg];
+
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SourceRegs {
+    type Item = &'a Reg;
+    type IntoIter = core::slice::Iter<'a, Reg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The second operand of an operate-format instruction: a register or an
 /// immediate literal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,7 +222,16 @@ impl Inst {
     /// `r31` sources are omitted (they are hardwired zero, never a
     /// dependence), as are immediate operands.
     pub fn sources(&self) -> Vec<Reg> {
-        let mut out = Vec::with_capacity(3);
+        self.source_regs().as_slice().to_vec()
+    }
+
+    /// [`sources`](Self::sources) without the heap allocation: the same
+    /// registers, in the same canonical order, in a fixed-capacity
+    /// [`SourceRegs`]. This is the accessor the simulator's rename and
+    /// steering hot paths use — an instruction reads at most three
+    /// registers, so the list fits inline.
+    pub fn source_regs(&self) -> SourceRegs {
+        let mut out = SourceRegs::new();
         let mut push = |r: Reg| {
             if !r.is_zero_reg() {
                 out.push(r);

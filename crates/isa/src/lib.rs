@@ -51,7 +51,7 @@ pub mod program;
 pub mod reg;
 
 pub use emu::{Emulator, Retired, StepError};
-pub use inst::{Inst, Operand};
+pub use inst::{Inst, Operand, SourceRegs};
 pub use mem::Memory;
 pub use opcode::Opcode;
 pub use program::Program;

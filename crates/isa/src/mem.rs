@@ -1,9 +1,40 @@
 //! A sparse, paged byte-addressable memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A multiplicative hasher for page numbers. Page maps are hit on every
+/// emulated load and store, and the keys are already well-distributed
+/// integers — SipHash (the `HashMap` default, DoS-resistant) is wasted
+/// effort there and showed up in simulator profiles.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64 page keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci hashing: one multiply spreads the low page bits
+        // across the high bits the map's mask actually uses.
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        // HashMap uses the top bits for bucket selection after masking;
+        // rotate so sequential pages land in distinct buckets.
+        self.0.rotate_left(31)
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
 
 /// A sparse 64-bit byte-addressable memory.
 ///
@@ -23,7 +54,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl Memory {
@@ -36,6 +67,15 @@ impl Memory {
         self.pages
             .entry(addr >> PAGE_SHIFT)
             .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// The in-page byte range of an access, if it does not straddle a
+    /// page boundary — the fast path that costs one map lookup instead of
+    /// one per byte.
+    #[inline]
+    fn in_page(addr: u64, len: usize) -> Option<(u64, usize)> {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        (off + len <= PAGE_SIZE).then_some((addr >> PAGE_SHIFT, off))
     }
 
     /// Reads one byte.
@@ -53,6 +93,16 @@ impl Memory {
 
     /// Reads a little-endian u32 (unaligned allowed).
     pub fn read_u32(&self, addr: u64) -> u32 {
+        if let Some((page, off)) = Self::in_page(addr, 4) {
+            return match self.pages.get(&page) {
+                Some(p) => {
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&p[off..off + 4]);
+                    u32::from_le_bytes(b)
+                }
+                None => 0,
+            };
+        }
         let mut b = [0u8; 4];
         for (i, byte) in b.iter_mut().enumerate() {
             *byte = self.read_u8(addr.wrapping_add(i as u64));
@@ -62,6 +112,10 @@ impl Memory {
 
     /// Writes a little-endian u32 (unaligned allowed).
     pub fn write_u32(&mut self, addr: u64, v: u32) {
+        if let Some((_, off)) = Self::in_page(addr, 4) {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         for (i, byte) in v.to_le_bytes().iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u64), *byte);
         }
@@ -69,6 +123,16 @@ impl Memory {
 
     /// Reads a little-endian u64 (unaligned allowed).
     pub fn read_u64(&self, addr: u64) -> u64 {
+        if let Some((page, off)) = Self::in_page(addr, 8) {
+            return match self.pages.get(&page) {
+                Some(p) => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&p[off..off + 8]);
+                    u64::from_le_bytes(b)
+                }
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         for (i, byte) in b.iter_mut().enumerate() {
             *byte = self.read_u8(addr.wrapping_add(i as u64));
@@ -78,6 +142,10 @@ impl Memory {
 
     /// Writes a little-endian u64 (unaligned allowed).
     pub fn write_u64(&mut self, addr: u64, v: u64) {
+        if let Some((_, off)) = Self::in_page(addr, 8) {
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         for (i, byte) in v.to_le_bytes().iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u64), *byte);
         }

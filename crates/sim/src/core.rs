@@ -54,6 +54,48 @@ struct Src {
     need_tc: bool,
 }
 
+/// The issue-gating sources of one entry, stored inline: an instruction
+/// reads at most three registers, so the hot loop never chases a heap
+/// allocation (the scheduler previously allocated a `Vec<Src>` per
+/// dispatched instruction and cloned it per issued one).
+#[derive(Debug, Clone, Copy)]
+struct SrcList {
+    srcs: [Src; 3],
+    len: u8,
+}
+
+impl SrcList {
+    fn new() -> Self {
+        SrcList {
+            srcs: [Src {
+                producer: None,
+                need_tc: false,
+            }; 3],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, s: Src) {
+        debug_assert!((self.len as usize) < self.srcs.len(), "over capacity");
+        if let Some(slot) = self.srcs.get_mut(self.len as usize) {
+            *slot = s;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[Src] {
+        &self.srcs[..self.len as usize]
+    }
+
+    fn get(&self, idx: u8) -> Option<Src> {
+        self.as_slice().get(idx as usize).copied()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[derive(Debug, Clone)]
 struct InFlight {
     d: DynInst,
@@ -61,7 +103,17 @@ struct InFlight {
     cluster: usize,
     state: State,
     /// Issue-gating source operands (for stores: the base register only).
-    srcs: Vec<Src>,
+    srcs: SrcList,
+    /// Gating sources still sleeping on an unissued producer. The entry
+    /// enters its scheduler's candidate list when this reaches zero.
+    wait_count: u8,
+    /// Wakeup floor: no evaluation can succeed for an execution starting
+    /// before this cycle (the max of the issued producers' earliest
+    /// availability; 0 means "evaluate every cycle").
+    min_ready: u64,
+    /// Consumers sleeping on this entry's result as (consumer seq, source
+    /// index) pairs, woken when this entry issues and its timing lands.
+    waiters: Vec<(u64, u8)>,
     /// For stores: the data operand's producer, resolved separately.
     store_data_producer: Option<u64>,
     store_data_time: Option<u64>,
@@ -109,13 +161,27 @@ pub struct Simulator {
     ring: VecDeque<InFlight>,
     base_seq: u64,
     rs_free: Vec<usize>,
-    /// Per-scheduler queues of waiting seqs (oldest first).
+    /// Per-scheduler queues of waiting seqs (oldest first). The
+    /// event-driven scheduler leaves issued entries in place as tombstones
+    /// (lazy skip + periodic compaction) and uses the queue only to
+    /// recover the oldest blocked entry for stall attribution.
     waiting: Vec<VecDeque<u64>>,
+    /// Per-scheduler sorted candidate lists: seqs whose gating sources are
+    /// all produced (issued or in the register file). The event-driven
+    /// scheduler evaluates only these, instead of every waiting entry.
+    candidates: Vec<Vec<u64>>,
+    /// Dispatched stores whose data operand is not yet resolved — the
+    /// persistent replacement for the per-cycle full-ring scan.
+    pending_stores: VecDeque<u64>,
     last_writer: [Option<u64>; 32],
     steer_counter: u64,
     /// Set by `dispatch` each cycle: a decoded instruction was ready to
     /// enter the window but the ROB or its reservation stations were full.
     window_blocked: bool,
+    /// Run the retained scan-everything reference scheduler instead of the
+    /// event-driven one; the differential suite locksteps the two.
+    #[cfg(any(test, feature = "reference-sched"))]
+    reference_sched: bool,
 }
 
 impl Simulator {
@@ -126,6 +192,7 @@ impl Simulator {
         let mem = MemoryHierarchy::new(cfg.icache, cfg.dcache, cfg.l2, cfg.memory);
         let rs_free = vec![cfg.entries_per_scheduler(); cfg.schedulers];
         let waiting = vec![VecDeque::new(); cfg.schedulers];
+        let candidates = vec![Vec::new(); cfg.schedulers];
         Simulator {
             cfg,
             oracle,
@@ -144,9 +211,38 @@ impl Simulator {
             base_seq: 0,
             rs_free,
             waiting,
+            candidates,
+            pending_stores: VecDeque::new(),
             last_writer: [None; 32],
             steer_counter: 0,
             window_blocked: false,
+            #[cfg(any(test, feature = "reference-sched"))]
+            reference_sched: false,
+        }
+    }
+
+    /// Switches this simulator to the retained reference scheduler — the
+    /// original scan-every-waiting-entry implementation the event-driven
+    /// wakeup replaced. The two produce bit-identical results (pinned by
+    /// the differential suite and the golden snapshots); the reference
+    /// exists only as the behavioral spec to test against.
+    #[cfg(any(test, feature = "reference-sched"))]
+    pub fn with_reference_scheduler(mut self) -> Self {
+        self.reference_sched = true;
+        self
+    }
+
+    /// Whether the reference scheduler drives this run (always false when
+    /// the `reference-sched` feature is compiled out).
+    #[inline]
+    fn is_reference(&self) -> bool {
+        #[cfg(any(test, feature = "reference-sched"))]
+        {
+            self.reference_sched
+        }
+        #[cfg(not(any(test, feature = "reference-sched")))]
+        {
+            false
         }
     }
 
@@ -338,24 +434,54 @@ impl Simulator {
 
             // Rename: resolve producers for the issue-gating sources.
             let op = d.inst.op;
-            let (gating_regs, data_reg) = if op.is_store() {
-                // sources() yields [base?, data?] with r31 omitted; recover
-                // the roles explicitly.
-                let base = (!d.inst.ra.is_zero_reg()).then_some(d.inst.ra);
-                let data = (!d.inst.rc.is_zero_reg()).then_some(d.inst.rc);
-                (base.into_iter().collect::<Vec<_>>(), data)
+            let mut srcs = SrcList::new();
+            let data_reg = if op.is_store() {
+                // The base register gates issue; the data operand is
+                // tracked separately and resolved via the store queue.
+                if !d.inst.ra.is_zero_reg() {
+                    srcs.push(Src {
+                        producer: self.last_writer[d.inst.ra.index()],
+                        need_tc: input_req(op, 0) == InputReq::TcOnly,
+                    });
+                }
+                (!d.inst.rc.is_zero_reg()).then_some(d.inst.rc)
             } else {
-                (d.inst.sources(), None)
+                for (idx, r) in d.inst.source_regs().iter().enumerate() {
+                    srcs.push(Src {
+                        producer: self.last_writer[r.index()],
+                        need_tc: input_req(op, idx) == InputReq::TcOnly,
+                    });
+                }
+                None
             };
-            let srcs: Vec<Src> = gating_regs
-                .iter()
-                .enumerate()
-                .map(|(idx, r)| Src {
-                    producer: self.last_writer[r.index()],
-                    need_tc: input_req(op, idx) == InputReq::TcOnly,
-                })
-                .collect();
             let store_data_producer = data_reg.and_then(|r| self.last_writer[r.index()]);
+
+            // Event-driven wakeup bookkeeping: sleep on producers that have
+            // not issued yet; fold issued producers' earliest availability
+            // into the entry's wakeup floor.
+            let mut wait_count = 0u8;
+            let mut min_ready = 0u64;
+            for (idx, src) in srcs.as_slice().iter().enumerate() {
+                let Some(p) = src.producer else { continue };
+                let timing = match self.entry(p) {
+                    None => continue, // retired: value in the register file
+                    Some(prod) => prod.timing,
+                };
+                match timing {
+                    Some(r) => {
+                        let at = self.bypass.earliest(&r, src.need_tc, cluster, 0);
+                        if at != u64::MAX {
+                            min_ready = min_ready.max(at);
+                        }
+                    }
+                    None => {
+                        if let Some(prod) = self.entry_mut(p) {
+                            prod.waiters.push((d.seq, idx as u8));
+                            wait_count += 1;
+                        }
+                    }
+                }
+            }
 
             if let Some(dest) = d.inst.dest() {
                 self.last_writer[dest.index()] = Some(d.seq);
@@ -377,6 +503,9 @@ impl Simulator {
                 cluster,
                 state: State::Waiting,
                 srcs,
+                wait_count,
+                min_ready,
+                waiters: Vec::new(),
                 store_data_producer,
                 store_data_time: if op.is_store() && data_reg.is_none() {
                     Some(self.cycle) // data is r31 (zero): always ready
@@ -397,6 +526,12 @@ impl Simulator {
             debug_assert_eq!(self.base_seq + self.ring.len() as u64, d.seq);
             self.ring.push_back(entry);
             self.waiting[scheduler].push_back(d.seq);
+            if wait_count == 0 && !self.is_reference() {
+                self.insert_candidate(scheduler, d.seq);
+            }
+            if op.is_store() && data_reg.is_some() {
+                self.pending_stores.push_back(d.seq);
+            }
             dispatched += 1;
         }
         self.stats.dispatch_hist[dispatched.min(8)] += 1;
@@ -416,7 +551,7 @@ impl Simulator {
         }
         let preferred_cluster = d
             .inst
-            .sources()
+            .source_regs()
             .iter()
             .filter_map(|r| self.last_writer[r.index()])
             .max()
@@ -484,24 +619,246 @@ impl Simulator {
         }
     }
 
+    /// Retries the stores whose data operand is still outstanding. The
+    /// queue is maintained at dispatch and drained as stores resolve or
+    /// retire, replacing the previous per-cycle full-ring scan (which
+    /// allocated a fresh seq vector even with no stores in flight).
+    fn resolve_pending_stores(&mut self) {
+        for _ in 0..self.pending_stores.len() {
+            let Some(seq) = self.pending_stores.pop_front() else { break };
+            self.resolve_store_data(seq);
+            let unresolved = matches!(
+                self.entry(seq),
+                Some(en) if en.store_data_time.is_none()
+            );
+            if unresolved {
+                // Rotate to the back: one pass visits each pending store
+                // exactly once and preserves seq order.
+                self.pending_stores.push_back(seq);
+            }
+        }
+    }
+
     fn issue<O: SimObserver>(&mut self, obs: &mut O) {
         // Resolve pending store data lazily each cycle.
-        let store_seqs: Vec<u64> = self
-            .ring
-            .iter()
-            .filter(|x| x.d.inst.op.is_store() && x.store_data_time.is_none())
-            .map(|x| x.d.seq)
-            .collect();
-        for s in store_seqs {
-            self.resolve_store_data(s);
+        self.resolve_pending_stores();
+        if self.is_reference() {
+            #[cfg(any(test, feature = "reference-sched"))]
+            self.issue_reference(obs);
+            return;
         }
+        self.issue_event(obs);
+    }
 
+    /// Event-driven wakeup/select. Instead of evaluating every waiting
+    /// entry every cycle, each scheduler keeps a sorted candidate list an
+    /// entry enters only once its last sleeping producer issues (`wake`),
+    /// and candidates below their wakeup floor (`min_ready`) are skipped
+    /// without touching the bypass network. Skips are sound because both
+    /// conditions prove at least one operand unavailable, and the
+    /// side-effecting store-queue probe (`check_load`) only ever runs once
+    /// all register operands are available — so the evaluation sequence,
+    /// issue picks, and stall attribution are bit-identical to
+    /// `issue_reference` (pinned by the differential suite).
+    fn issue_event<O: SimObserver>(&mut self, obs: &mut O) {
         let e = self.cycle + self.cfg.sched_to_exec;
         let mut issued_count = 0usize;
         let mut any_issued = false;
         // Cause charged to slots a scheduler leaves unused because it has
         // nothing waiting at all: the window is the bottleneck if dispatch
         // was blocked this cycle, otherwise the front end is.
+        let upstream = if self.window_blocked {
+            StallCause::WindowFull
+        } else {
+            StallCause::FetchStarved
+        };
+        for s in 0..self.cfg.schedulers {
+            self.compact_waiting(s);
+            let mut picked = 0usize;
+            // Seq of the second pick: the reference scan stops right after
+            // it, so no younger entry can be "the blocked one".
+            let mut second_pick = u64::MAX;
+            // Oldest candidate evaluated and found not ready, and whether
+            // the store queue (rather than an operand) held it back.
+            let mut first_unready: Option<(u64, bool)> = None;
+            let mut i = 0;
+            while picked < 2 {
+                let Some(&seq) = self.candidates[s].get(i) else { break };
+                let Some(entry) = self.entry(seq) else {
+                    self.candidates[s].remove(i);
+                    continue;
+                };
+                if entry.state != State::Waiting {
+                    self.candidates[s].remove(i);
+                    continue;
+                }
+                if entry.min_ready > e {
+                    i += 1;
+                    continue;
+                }
+                let cluster = entry.cluster;
+                let is_load = entry.d.inst.op.is_load();
+                let addr = entry.d.ea;
+                let size = entry.mem_size;
+                let mut ready = entry
+                    .srcs
+                    .as_slice()
+                    .iter()
+                    .all(|src| self.operand_available(src, cluster, e));
+                let mut load_decision = LoadDecision::Cache;
+                let mut lsq_blocked = false;
+                if ready && is_load {
+                    debug_assert!(addr.is_some(), "load has an address");
+                    load_decision = self.sq.check_load(seq, addr.unwrap_or_default(), size, e);
+                    if load_decision == LoadDecision::Blocked {
+                        ready = false;
+                        lsq_blocked = true;
+                    }
+                }
+                if ready {
+                    issued_count += 1;
+                    picked += 1;
+                    // Remove before issuing: `issue_one` may wake a
+                    // consumer into this very list, always at a position
+                    // after `i` (consumers are younger than the issuer, and
+                    // the list is sorted), so it gets scanned this cycle —
+                    // exactly as the reference scan would reach it.
+                    self.candidates[s].remove(i);
+                    // `check_load` counters are already bumped; carry the
+                    // decision so issue_one does not probe the queue again.
+                    self.issue_one(seq, e, load_decision, obs);
+                    any_issued = true;
+                    if picked == 2 {
+                        second_pick = seq;
+                    }
+                    continue;
+                }
+                if first_unready.is_none() {
+                    first_unready = Some((seq, lsq_blocked));
+                }
+                i += 1;
+            }
+            // Stall accounting: each scheduler owns 2 of the machine's
+            // `width` issue slots every cycle; charge the unused ones.
+            let unused = 2u64.saturating_sub(picked as u64);
+            if unused > 0 {
+                let cause = match self.oldest_blocked(s, second_pick, first_unready) {
+                    Some((seq, lsq)) => self.stall_cause_of(seq, lsq, e),
+                    None => upstream,
+                };
+                self.stats.stall.charge(cause, unused);
+            }
+        }
+        self.stats.stall.used += issued_count as u64;
+        if !any_issued && !self.ring.is_empty() {
+            self.stats.idle_issue_cycles += 1;
+        }
+        self.stats.issue_hist[issued_count.min(8)] += 1;
+        obs.on_stage(Stage::Issue, issued_count);
+    }
+
+    /// Recovers the reference scan's `blocked` value from the waiting
+    /// queue: the oldest still-waiting entry of scheduler `s`, provided
+    /// the scan would have reached it before stopping at the second pick.
+    /// Every older entry already issued, so that oldest entry is exactly
+    /// the first not-ready entry the reference scan records; it was held
+    /// by the store queue only if this cycle's candidate evaluation said
+    /// so (`first_unready`) — an entry skipped as a non-candidate has, by
+    /// construction, an unavailable register operand, which the reference
+    /// discovers before ever probing the store queue.
+    fn oldest_blocked(
+        &mut self,
+        s: usize,
+        second_pick: u64,
+        first_unready: Option<(u64, bool)>,
+    ) -> Option<(u64, bool)> {
+        // Lazily drop issued/retired tombstones from the front.
+        while let Some(&seq) = self.waiting[s].front() {
+            match self.entry(seq) {
+                Some(en) if en.state == State::Waiting => break,
+                _ => {
+                    self.waiting[s].pop_front();
+                }
+            }
+        }
+        let w = *self.waiting[s].front()?;
+        if w >= second_pick {
+            return None;
+        }
+        let lsq = match first_unready {
+            Some((f, l)) if f == w => l,
+            _ => false,
+        };
+        Some((w, lsq))
+    }
+
+    /// Sweeps issued tombstones out of scheduler `s`'s waiting queue once
+    /// they outnumber the live entries. The reference scheduler instead
+    /// called `VecDeque::remove` on every issue, shifting the tail each
+    /// time — O(window²) in the worst cycle.
+    fn compact_waiting(&mut self, s: usize) {
+        let live = self
+            .cfg
+            .entries_per_scheduler()
+            .saturating_sub(self.rs_free.get(s).copied().unwrap_or(0));
+        let Some(q) = self.waiting.get(s) else { return };
+        if q.len() <= 2 * live + 8 {
+            return;
+        }
+        let mut q = std::mem::take(&mut self.waiting[s]);
+        q.retain(|&seq| matches!(self.entry(seq), Some(en) if en.state == State::Waiting));
+        self.waiting[s] = q;
+    }
+
+    /// Inserts `seq` into scheduler `s`'s candidate list, keeping it
+    /// sorted (idempotent): selection must stay oldest-first to match the
+    /// reference scheduler's scan order.
+    fn insert_candidate(&mut self, s: usize, seq: u64) {
+        let Some(v) = self.candidates.get_mut(s) else { return };
+        if let Err(pos) = v.binary_search(&seq) {
+            v.insert(pos, seq);
+        }
+    }
+
+    /// Wakes one sleeping source of `cseq`: folds the freshly issued
+    /// producer's earliest availability into the consumer's wakeup floor
+    /// and, when this was the last outstanding producer, enters the
+    /// consumer into its scheduler's candidate list. A producer whose
+    /// result is statically unreachable for this consumer (`earliest` has
+    /// no answer) contributes floor 0 — the consumer is then evaluated
+    /// every cycle, exactly as the reference scan does, and issues once
+    /// the producer retires to the register file.
+    fn wake(&mut self, cseq: u64, src_idx: u8, timing: Option<ResultTiming>) {
+        let Some(c) = self.entry(cseq) else { return };
+        debug_assert_eq!(c.state, State::Waiting, "sleeping consumers cannot issue");
+        let (cluster, scheduler) = (c.cluster, c.scheduler);
+        let need_tc = c.srcs.get(src_idx).is_some_and(|s| s.need_tc);
+        let floor = match timing {
+            Some(r) => match self.bypass.earliest(&r, need_tc, cluster, 0) {
+                u64::MAX => 0,
+                at => at,
+            },
+            None => 0,
+        };
+        let Some(cm) = self.entry_mut(cseq) else { return };
+        cm.min_ready = cm.min_ready.max(floor);
+        cm.wait_count = cm.wait_count.saturating_sub(1);
+        if cm.wait_count == 0 && !self.is_reference() {
+            self.insert_candidate(scheduler, cseq);
+        }
+    }
+
+    /// The retained reference scheduler: scan every waiting entry, oldest
+    /// first, with eager `VecDeque::remove`. This is the behavioral spec
+    /// the event-driven scheduler is differentially tested against (see
+    /// [`with_reference_scheduler`](Self::with_reference_scheduler));
+    /// compiled out of production builds unless the `reference-sched`
+    /// feature is enabled.
+    #[cfg(any(test, feature = "reference-sched"))]
+    fn issue_reference<O: SimObserver>(&mut self, obs: &mut O) {
+        let e = self.cycle + self.cfg.sched_to_exec;
+        let mut issued_count = 0usize;
+        let mut any_issued = false;
         let upstream = if self.window_blocked {
             StallCause::WindowFull
         } else {
@@ -527,6 +884,7 @@ impl Simulator {
                 let cluster = entry.cluster;
                 let mut ready = entry
                     .srcs
+                    .as_slice()
                     .iter()
                     .all(|src| self.operand_available(src, cluster, e));
                 let mut load_decision = LoadDecision::Cache;
@@ -589,7 +947,7 @@ impl Simulator {
             return StallCause::OperandWait;
         };
         let mut worst: Option<(u64, StallCause)> = None;
-        for src in &entry.srcs {
+        for src in entry.srcs.as_slice() {
             let Some(p) = src.producer else { continue };
             let Some(prod) = self.entry(p) else { continue };
             let (at, cause) = match &prod.timing {
@@ -710,7 +1068,12 @@ impl Simulator {
         entry.exec_start = e;
         entry.exec_end = exec_end;
         let scheduler = entry.scheduler;
+        let waiters = std::mem::take(&mut entry.waiters);
         self.rs_free[scheduler] += 1;
+        // The result timing is now known: wake the sleeping consumers.
+        for (cseq, idx) in waiters {
+            self.wake(cseq, idx, timing);
+        }
     }
 
     fn record_bypass_stats<O: SimObserver>(&mut self, seq: u64, e: u64, obs: &mut O) {
@@ -719,14 +1082,14 @@ impl Simulator {
             return;
         }
         let cluster = entry.cluster;
-        let srcs = entry.srcs.clone();
+        let srcs = entry.srcs; // inline copy: no allocation on the issue path
         let mut any_bypassed = false;
         let mut bypassed_ops = 0u64;
         let mut regfile_ops = 0u64;
         let mut level_counts = [0u64; 3];
         let mut last: Option<(u64, bool, bool)> = None; // (earliest, bypassed, case-rb)
         let mut last_need_tc = false;
-        for src in &srcs {
+        for src in srcs.as_slice() {
             let Some(p) = src.producer else {
                 regfile_ops += 1;
                 continue;

@@ -56,7 +56,7 @@ impl TraceEntry {
 }
 
 /// A complete trace of a (small) simulated program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineTrace {
     entries: Vec<TraceEntry>,
 }
