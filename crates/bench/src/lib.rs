@@ -9,7 +9,9 @@
 //!   binaries submit their experiments to a running `redbin-served`
 //!   instead of simulating locally;
 //! * `--profile` — `redbin-repro all` only: also write a `BENCH_5.json`
-//!   throughput profile (wall-clock, sims/sec, instrs/sec per figure).
+//!   throughput profile (wall-clock, sims/sec, instrs/sec per figure);
+//! * `--seeds N` / `--start-seed S` — `redbin-repro fuzz` only: run the
+//!   torture seeds `S..S+N` through the differential oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,10 @@ pub struct BenchArgs {
     pub server: Option<String>,
     /// Whether to write the `BENCH_5.json` throughput profile.
     pub profile: bool,
+    /// `redbin-repro fuzz`: how many torture seeds to run.
+    pub seeds: Option<u64>,
+    /// `redbin-repro fuzz`: the first torture seed of the range.
+    pub start_seed: Option<u64>,
 }
 
 impl BenchArgs {
@@ -51,6 +57,15 @@ pub fn parse_scale(value: &str) -> Result<Scale, String> {
         "full" => Ok(Scale::Full),
         other => Err(format!("unknown scale `{other}` (expected test|small|full)")),
     }
+}
+
+/// Parses a non-negative integer flag value (decimal, or hex with `0x`).
+fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| format!("{flag}: `{value}` is not a non-negative integer"))
 }
 
 /// Strictly parses a repro binary's argument list (without the program
@@ -87,9 +102,12 @@ pub fn parse_cli(args: &[String]) -> Result<BenchArgs, String> {
                 }
                 out.profile = true;
             }
+            "--seeds" => out.seeds = Some(parse_u64(flag, &value(&mut it)?)?),
+            "--start-seed" => out.start_seed = Some(parse_u64(flag, &value(&mut it)?)?),
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --scale, --json, --server or --profile)"
+                    "unknown argument `{other}` (expected --scale, --json, --server, \
+                     --profile, --seeds or --start-seed)"
                 ))
             }
         }
@@ -234,6 +252,19 @@ mod tests {
         assert_eq!(a.scale, Some(Scale::Test));
         assert!(!parse_cli(&[]).unwrap().profile);
         assert!(parse_cli(&argv(&["--profile=yes"])).is_err());
+    }
+
+    #[test]
+    fn seed_flags_parse_decimal_and_hex() {
+        let a = parse_cli(&argv(&["--seeds", "200", "--start-seed", "0x2a"])).unwrap();
+        assert_eq!(a.seeds, Some(200));
+        assert_eq!(a.start_seed, Some(0x2a));
+        let b = parse_cli(&argv(&["--seeds=1"])).unwrap();
+        assert_eq!(b.seeds, Some(1));
+        assert_eq!(b.start_seed, None);
+        assert!(parse_cli(&argv(&["--seeds", "many"])).is_err());
+        assert!(parse_cli(&argv(&["--start-seed", "-1"])).is_err());
+        assert!(parse_cli(&argv(&["--seeds"])).is_err(), "missing value");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```text
 //! redbin-repro figure9|figure10|figure11|figure12|figure13|figure14
 //!              [--scale S] [--json PATH]
-//! redbin-repro table1|table3|delays|ablations [--scale S] [--json PATH]
+//! redbin-repro table1|table3|delays|ablations|programs [--scale S] [--json PATH]
+//! redbin-repro fuzz [--seeds N] [--start-seed S] [--json PATH]
 //! redbin-repro all [--scale S] [--json PATH] [--server HOST:PORT] [--profile]
 //! ```
 //!
@@ -27,10 +28,11 @@ use redbin::workload::Benchmark;
 use crate::BenchArgs;
 
 /// Every subcommand `redbin-repro` accepts, in `all`'s execution order
-/// (`all` itself and the beyond-the-paper `ablations` are extra).
+/// (`all` itself and the beyond-the-paper `ablations`, `programs` and
+/// `fuzz` are extra).
 pub const COMMANDS: &[&str] = &[
     "delays", "table1", "table3", "figure9", "figure10", "figure11", "figure12", "figure13",
-    "figure14", "ablations", "all",
+    "figure14", "ablations", "programs", "fuzz", "all",
 ];
 
 /// What one experiment produced, beyond its printed report.
@@ -53,6 +55,10 @@ struct Outcome {
 pub fn run(command: &str, args: &BenchArgs) {
     if command == "all" {
         run_all(args);
+        return;
+    }
+    if command == "fuzz" {
+        run_fuzz(args);
         return;
     }
     let cfg = crate::experiment_config_for(args);
@@ -90,6 +96,7 @@ fn run_single(command: &str, cfg: &experiments::ExperimentConfig) -> Option<Outc
         "table3" => run_table3(),
         "delays" => run_delays(),
         "ablations" => run_ablations(cfg),
+        "programs" => run_programs(cfg),
         _ => return None,
     })
 }
@@ -223,6 +230,66 @@ fn run_ablations(cfg: &experiments::ExperimentConfig) -> Outcome {
         simulations: sims,
         body,
     }
+}
+
+fn run_programs(cfg: &experiments::ExperimentConfig) -> Outcome {
+    let rep = experiments::programs(cfg);
+    print!("{}", report::render_programs(&rep));
+    let retired: u64 = rep
+        .rows
+        .iter()
+        .flat_map(|r| r.stats.iter())
+        .map(|s| s.retired)
+        .sum();
+    let emulated: u64 = rep.rows.iter().map(|r| r.emulated).sum();
+    // One emulator run plus four simulated machines per program.
+    let sims = rep.rows.len() as u64 * 5;
+    Outcome {
+        instructions: Some(retired + emulated),
+        simulations: sims,
+        body: json::programs(&rep),
+    }
+}
+
+/// The `fuzz` subcommand: runs torture seeds `start..start+n` through the
+/// three-way differential oracle ([`redbin::differential::check_seed`]).
+/// Prints the full reproduction report and exits non-zero on the first
+/// failing seed.
+fn run_fuzz(args: &BenchArgs) {
+    use redbin::differential;
+    let start = args.start_seed.unwrap_or(0);
+    let n = args.seeds.unwrap_or(200);
+    let started = Clock::now();
+    let mut retired = 0u64;
+    let mut cycles = 0u64;
+    println!("fuzz: seeds {start}..{} through the differential oracle", start + n);
+    for seed in start..start + n {
+        match differential::check_seed(seed) {
+            Ok(v) => {
+                retired += v.retired;
+                cycles += v.cycles;
+                let done = seed - start + 1;
+                if done % 25 == 0 || done == n {
+                    println!(
+                        "fuzz: {done}/{n} seeds ok ({retired} instructions, {:.1}s)",
+                        started.seconds()
+                    );
+                }
+            }
+            Err(failure) => {
+                eprintln!("{failure}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("fuzz: all {n} seeds passed");
+    let mut body = Json::object();
+    body.set("start-seed", Json::UInt(start));
+    body.set("seeds", Json::UInt(n));
+    body.set("retired-instructions", Json::UInt(retired));
+    body.set("simulated-cycles", Json::UInt(cycles));
+    body.set("passed", Json::Bool(true));
+    crate::emit_json(args, "fuzz", started, Some(retired), body);
 }
 
 /// One `BENCH_5.json` line: what an experiment cost and delivered.

@@ -13,7 +13,7 @@ use redbin_sim::stats::{harmonic_mean, BypassCases};
 use redbin_sim::{
     BypassLevels, CoreModel, DatapathMode, MachineConfig, SimStats, Simulator, SteeringPolicy,
 };
-use redbin_workload::{Benchmark, Scale, Suite};
+use redbin_workload::{Benchmark, Scale, Suite, WholeProgram};
 
 use crate::pool::run_jobs;
 
@@ -182,6 +182,99 @@ pub fn figure11(cfg: &ExperimentConfig) -> IpcFigure {
 /// Figure 12: 4-wide machines on SPECint95.
 pub fn figure12(cfg: &ExperimentConfig) -> IpcFigure {
     figure_ipc(4, Suite::Spec95, cfg)
+}
+
+/// One whole program's results across the four machine models, in
+/// [`CoreModel::all`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramRow {
+    /// The program.
+    pub program: WholeProgram,
+    /// The emulator-verified architectural checksum (register `r9`),
+    /// already checked against the program's Rust reference.
+    pub checksum: u64,
+    /// Instructions the emulator retired.
+    pub emulated: u64,
+    /// IPC per machine model.
+    pub ipc: [f64; 4],
+    /// Full simulator statistics per machine model.
+    pub stats: Vec<SimStats>,
+}
+
+///// The whole-program suite result: five complete programs (quicksort,
+/// matmul, box blur, prime sieve, QOI-style decoder) on the four machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramsReport {
+    /// Execution width (8, matching Figures 9/10).
+    pub width: usize,
+    /// One row per program.
+    pub rows: Vec<ProgramRow>,
+}
+
+impl ProgramsReport {
+    /// Harmonic-mean IPC per machine model.
+    pub fn harmonic_means(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (m, slot) in out.iter_mut().enumerate() {
+            let v: Vec<f64> = self.rows.iter().map(|r| r.ipc[m]).collect();
+            *slot = harmonic_mean(&v);
+        }
+        out
+    }
+}
+
+/// Runs the whole-program suite on the four 8-wide machines.
+///
+/// Unlike the proxy-kernel figures this experiment is self-verifying:
+/// every simulation's final architectural state is compared against the
+/// standalone emulator's, and the emulator's checksum register against
+/// the program's Rust reference implementation.
+///
+/// # Panics
+///
+/// Panics if any program misbehaves: wrong checksum, architectural
+/// divergence between emulator and simulator, or a simulation fault.
+pub fn programs(cfg: &ExperimentConfig) -> ProgramsReport {
+    let progs = WholeProgram::all();
+    let width = 8;
+    let scale = cfg.scale;
+    let datapath = cfg.datapath;
+    let rows = run_jobs(progs.len(), cfg.threads, |i| {
+        let wp = progs[i];
+        let program = wp.program(scale);
+        let mut emu = Emulator::new(&program);
+        emu.run(crate::differential::EMULATOR_STEP_BOUND)
+            .unwrap_or_else(|e| panic!("{} did not halt: {e}", wp.name()));
+        let expect = emu.arch_state();
+        let checksum = expect.regs[redbin_workload::programs::CHECKSUM_REG as usize];
+        assert_eq!(
+            checksum,
+            wp.expected_checksum(scale),
+            "{}: checksum diverged from the Rust reference",
+            wp.name()
+        );
+        let mut ipc = [0.0; 4];
+        let mut stats = Vec::with_capacity(4);
+        for (m, model) in CoreModel::all().iter().enumerate() {
+            let config = MachineConfig::new(*model, width).with_datapath(datapath);
+            let (s, arch) = Simulator::new(config, &program)
+                .run_with_arch()
+                .unwrap_or_else(|e| panic!("{} on {model} failed: {e}", wp.name()));
+            if let Some(d) = expect.diff(&arch) {
+                panic!("{} on {model}: architectural divergence: {d}", wp.name());
+            }
+            ipc[m] = s.ipc();
+            stats.push(s);
+        }
+        ProgramRow {
+            program: wp,
+            checksum,
+            emulated: expect.retired,
+            ipc,
+            stats,
+        }
+    });
+    ProgramsReport { width, rows }
 }
 
 /// The data behind Figure 13: bypass-case distribution on the 8-wide
@@ -488,6 +581,20 @@ mod tests {
         assert_eq!((mul.base, mul.rb, mul.rb_tc, mul.ideal), (10, 10, None, 10));
         let fdiv = find(LatencyClass::FpDiv);
         assert_eq!((fdiv.base, fdiv.rb, fdiv.ideal), (32, 32, 32));
+    }
+
+    #[test]
+    fn whole_program_suite_is_self_verifying() {
+        // `programs` panics on any checksum or architectural divergence,
+        // so a clean return at test scale is itself the verification.
+        let rep = programs(&ExperimentConfig::quick());
+        assert_eq!(rep.rows.len(), 5);
+        for r in &rep.rows {
+            assert_eq!(r.stats.len(), 4, "{:?}", r.program);
+            assert!(r.ipc.iter().all(|&v| v > 0.0), "{:?}: zero IPC", r.program);
+            assert!(r.emulated > 1_000, "{:?}: trivial run", r.program);
+        }
+        assert!(rep.harmonic_means().iter().all(|&v| v > 0.0));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use redbin_sim::stats::{BypassCase, SimStats, StallCause};
 use redbin_sim::CoreModel;
 use redbin_workload::{Benchmark, Scale};
 
-use crate::experiments::{Figure13, Figure14, IpcFigure, Table3Row};
+use crate::experiments::{Figure13, Figure14, IpcFigure, ProgramsReport, Table3Row};
 
 /// A JSON value. Objects preserve insertion order (deterministic output).
 #[derive(Debug, Clone, PartialEq)]
@@ -610,6 +610,62 @@ pub fn ipc_figure(fig: &IpcFigure) -> Json {
                 ("gap-to-ideal", Json::Num(gap)),
                 ("limited-loss", Json::Num(limited_loss)),
             ]),
+        ),
+    ])
+}
+
+/// Serializes the whole-program suite result (per-program IPC across the
+/// four machines plus the emulator-verified checksum).
+pub fn programs(rep: &ProgramsReport) -> Json {
+    let models: Vec<Json> = CoreModel::all()
+        .iter()
+        .map(|m| Json::Str(m.name().to_string()))
+        .collect();
+    let rows: Vec<Json> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("program", Json::Str(r.program.name().to_string())),
+                ("checksum", Json::Str(format!("{:016x}", r.checksum))),
+                ("emulated-instructions", Json::UInt(r.emulated)),
+                (
+                    "ipc",
+                    Json::Obj(
+                        CoreModel::all()
+                            .iter()
+                            .zip(r.ipc.iter())
+                            .map(|(m, v)| (m.name().to_string(), Json::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "stats",
+                    Json::Obj(
+                        CoreModel::all()
+                            .iter()
+                            .zip(r.stats.iter())
+                            .map(|(m, s)| (m.name().to_string(), sim_stats(s)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let hm = rep.harmonic_means();
+    obj(vec![
+        ("width", Json::UInt(rep.width as u64)),
+        ("models", Json::Arr(models)),
+        ("rows", Json::Arr(rows)),
+        (
+            "harmonic-means",
+            Json::Obj(
+                CoreModel::all()
+                    .iter()
+                    .zip(hm.iter())
+                    .map(|(m, v)| (m.name().to_string(), Json::Num(*v)))
+                    .collect(),
+            ),
         ),
     ])
 }

@@ -17,6 +17,9 @@
 //!   tracking, limited bypass networks, and clustered execution.
 //! * [`experiments`] — one driver per table/figure (Table 1, Figures 9–14,
 //!   the §3.4 delay table), with parallel execution across benchmarks.
+//! * [`differential`] — the three-way differential oracle (emulator vs.
+//!   fast simulator vs. faithful datapath vs. reference scheduler) behind
+//!   the fuzz and whole-program suites.
 //! * [`report`] — plain-text rendering of experiment results.
 //! * [`json`] — dependency-free structured JSON output for every experiment
 //!   (the `--json` flag of the `repro-*` binaries).
@@ -50,6 +53,7 @@ pub use redbin_sim as sim;
 pub use redbin_telemetry as telemetry;
 pub use redbin_workload as workload;
 
+pub mod differential;
 pub mod experiments;
 pub mod json;
 pub mod pool;

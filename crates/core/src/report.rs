@@ -8,7 +8,7 @@ use redbin_sim::stats::BypassCase;
 use redbin_sim::CoreModel;
 use redbin_workload::Benchmark;
 
-use crate::experiments::{Figure13, Figure14, IpcFigure, Table3Row};
+use crate::experiments::{Figure13, Figure14, IpcFigure, ProgramsReport, Table3Row};
 
 /// Renders a Figure 9–12 style table: one row per benchmark, one column per
 /// machine, harmonic means at the bottom, plus the paper's headline ratios.
@@ -45,6 +45,38 @@ pub fn render_ipc_figure(fig: &IpcFigure, title: &str) -> String {
         gain * 100.0,
         vs_ideal * 100.0,
         lim_cost * 100.0
+    );
+    out
+}
+
+/// Renders the whole-program suite: one row per program, one IPC column
+/// per machine, with the emulator-verified checksum alongside.
+pub fn render_programs(rep: &ProgramsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Whole-program suite (emulator-verified).");
+    let _ = writeln!(out, "{}-wide machines", rep.width);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>11} {:>9} {:>8}  {:>16}",
+        "program", "Baseline", "RB-limited", "RB-full", "Ideal", "checksum"
+    );
+    for row in &rep.rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10.3} {:>11.3} {:>9.3} {:>8.3}  {:016x}",
+            row.program.name(),
+            row.ipc[0],
+            row.ipc[1],
+            row.ipc[2],
+            row.ipc[3],
+            row.checksum
+        );
+    }
+    let hm = rep.harmonic_means();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10.3} {:>11.3} {:>9.3} {:>8.3}",
+        "h-mean", hm[0], hm[1], hm[2], hm[3]
     );
     out
 }

@@ -122,6 +122,9 @@ pub enum ExperimentKind {
     Table3,
     /// §3.4 gate-level delay report.
     Delays,
+    /// The whole-program suite (quicksort, matmul, box blur, sieve,
+    /// QOI-style decoder) on the four 8-wide machines, emulator-verified.
+    Programs,
     /// A synthetic job that sleeps: used for load, deadline and shutdown
     /// testing without burning CPU (see `SERVING.md`).
     Sleep,
@@ -140,6 +143,7 @@ impl ExperimentKind {
             ExperimentKind::Table1,
             ExperimentKind::Table3,
             ExperimentKind::Delays,
+            ExperimentKind::Programs,
             ExperimentKind::Sleep,
         ]
     }
@@ -156,6 +160,7 @@ impl ExperimentKind {
             ExperimentKind::Table1 => "table1",
             ExperimentKind::Table3 => "table3",
             ExperimentKind::Delays => "delays",
+            ExperimentKind::Programs => "programs",
             ExperimentKind::Sleep => "sleep",
         }
     }
@@ -185,6 +190,7 @@ impl ExperimentKind {
             ExperimentKind::Table1 => 1,
             ExperimentKind::Table3 => 3,
             ExperimentKind::Delays => 34,
+            ExperimentKind::Programs => 20,
             ExperimentKind::Sleep => 200,
         }
     }
@@ -273,7 +279,9 @@ impl JobSpec {
                 .collect()
         };
         let mut out = match self.kind {
-            ExperimentKind::Figure9 | ExperimentKind::Figure10 => four_models(8),
+            ExperimentKind::Figure9 | ExperimentKind::Figure10 | ExperimentKind::Programs => {
+                four_models(8)
+            }
             ExperimentKind::Figure11 | ExperimentKind::Figure12 => four_models(4),
             ExperimentKind::Figure13 => {
                 vec![MachineConfig::rb_full(8).with_datapath(self.datapath)]
@@ -449,6 +457,7 @@ impl JobSpec {
                 json::table1(&merged, &per)
             }
             ExperimentKind::Table3 => json::table3(&experiments::table3()),
+            ExperimentKind::Programs => json::programs(&experiments::programs(&cfg)),
             ExperimentKind::Delays => json::delay_report(&experiments::delay_report()),
             ExperimentKind::Sleep => {
                 let mut remaining = self.sleep_ms;

@@ -30,6 +30,56 @@ pub struct Retired {
     pub taken: Option<bool>,
 }
 
+/// A snapshot of final architectural state, for differential comparison
+/// between executors (pure emulator, fast timing simulator, faithful
+/// timing simulator): registers, control state, and a content digest of
+/// memory. Two executions of the same program must produce equal
+/// snapshots; [`ArchState::diff`] renders the first disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Final architectural register values (`r31` is always zero).
+    pub regs: [u64; NUM_REGS],
+    /// Final program counter (the `Halt` site for halted programs).
+    pub pc: usize,
+    /// Instructions retired, including the `Halt`.
+    pub retired: u64,
+    /// Whether the program reached `Halt`.
+    pub halted: bool,
+    /// [`Memory::digest`] of the final memory image.
+    pub mem_digest: u64,
+}
+
+impl ArchState {
+    /// Describes the first field where two snapshots disagree, or `None`
+    /// when they are equal — the failure message of the differential tests.
+    pub fn diff(&self, other: &ArchState) -> Option<String> {
+        for i in 0..NUM_REGS {
+            if self.regs[i] != other.regs[i] {
+                return Some(format!(
+                    "r{i}: {:#x} vs {:#x}",
+                    self.regs[i], other.regs[i]
+                ));
+            }
+        }
+        if self.pc != other.pc {
+            return Some(format!("pc: {} vs {}", self.pc, other.pc));
+        }
+        if self.retired != other.retired {
+            return Some(format!("retired: {} vs {}", self.retired, other.retired));
+        }
+        if self.halted != other.halted {
+            return Some(format!("halted: {} vs {}", self.halted, other.halted));
+        }
+        if self.mem_digest != other.mem_digest {
+            return Some(format!(
+                "memory digest: {:#018x} vs {:#018x}",
+                self.mem_digest, other.mem_digest
+            ));
+        }
+        None
+    }
+}
+
 /// Errors from stepping the emulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepError {
@@ -117,6 +167,17 @@ impl Emulator {
     /// `true` once `Halt` has executed.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Snapshots the architectural state for differential comparison.
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            regs: self.regs,
+            pc: self.pc,
+            retired: self.retired,
+            halted: self.halted,
+            mem_digest: self.mem.digest(),
+        }
     }
 
     /// Number of instructions retired so far (excluding the `Halt`).
@@ -534,6 +595,35 @@ mod tests {
             Inst::halt(),
         ]);
         assert_eq!(e.reg(Reg::R31), 0);
+    }
+
+    #[test]
+    fn arch_state_snapshots_and_diffs() {
+        let prog = Program::new(vec![
+            Inst::op(Opcode::Addq, Reg::R31, Operand::Imm(7), Reg(1)),
+            Inst::mem(Opcode::Stq, Reg(1), Reg(1), 0x1000),
+            Inst::halt(),
+        ]);
+        let run = |p: &Program| {
+            let mut e = Emulator::new(p);
+            e.run(100).unwrap();
+            e.arch_state()
+        };
+        let a = run(&prog);
+        let b = run(&prog);
+        assert_eq!(a, b);
+        assert_eq!(a.diff(&b), None);
+        assert!(a.halted);
+        assert_eq!(a.retired, 3, "halt counts as retired");
+
+        let other = Program::new(vec![
+            Inst::op(Opcode::Addq, Reg::R31, Operand::Imm(8), Reg(1)),
+            Inst::mem(Opcode::Stq, Reg(1), Reg(1), 0x1000),
+            Inst::halt(),
+        ]);
+        let c = run(&other);
+        let msg = a.diff(&c).expect("states differ");
+        assert!(msg.starts_with("r1:"), "{msg}");
     }
 
     #[test]

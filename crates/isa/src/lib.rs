@@ -50,7 +50,7 @@ pub mod opcode;
 pub mod program;
 pub mod reg;
 
-pub use emu::{Emulator, Retired, StepError};
+pub use emu::{ArchState, Emulator, Retired, StepError};
 pub use inst::{Inst, Operand, SourceRegs};
 pub use mem::Memory;
 pub use opcode::Opcode;

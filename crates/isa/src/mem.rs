@@ -162,6 +162,39 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// A deterministic FNV-1a fingerprint of the memory contents.
+    ///
+    /// Pages are folded in ascending page-number order and all-zero pages
+    /// are skipped, so the digest depends only on the bytes a program could
+    /// observe: writing zeros to untouched memory, or touching a page
+    /// without modifying it, leaves the digest unchanged. Used by the
+    /// differential test oracle to compare final memory images without
+    /// materializing them.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        let mut h = OFFSET;
+        let fold = |h: &mut u64, byte: u8| {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(PRIME);
+        };
+        for page in keys {
+            let Some(bytes) = self.pages.get(&page) else { continue };
+            if bytes.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in page.to_le_bytes() {
+                fold(&mut h, b);
+            }
+            for &b in bytes.iter() {
+                fold(&mut h, b);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +233,25 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(0x2000, b"hello");
         assert_eq!(m.read_u8(0x2004), b'o');
+    }
+
+    #[test]
+    fn digest_ignores_zero_pages_and_touch_order() {
+        let empty = Memory::new().digest();
+        let mut touched = Memory::new();
+        touched.write_u64(0x5000, 0); // allocates a page, stays all-zero
+        assert_eq!(touched.digest(), empty, "zero writes are unobservable");
+
+        let mut a = Memory::new();
+        a.write_u64(0x1000, 7);
+        a.write_u64(0x9000, 9);
+        let mut b = Memory::new();
+        b.write_u64(0x9000, 9);
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.digest(), b.digest(), "digest is order-independent");
+        assert_ne!(a.digest(), empty);
+
+        b.write_u8(0x1003, 1);
+        assert_ne!(a.digest(), b.digest(), "one byte flips the digest");
     }
 }

@@ -271,6 +271,22 @@ impl Simulator {
         self.run_observed(&mut NoopObserver)
     }
 
+    /// Runs to completion and returns the statistics together with the
+    /// final architectural state of the embedded oracle (registers, pc,
+    /// memory digest). The timing simulator executes architecturally at
+    /// fetch, so this is the state any correct execution of the program
+    /// must reach — the differential suites compare it against a pure
+    /// [`redbin_isa::Emulator`] run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_with_arch(mut self) -> Result<(SimStats, redbin_isa::ArchState), SimError> {
+        self.run_loop(&mut NoopObserver)?;
+        let stats = self.finish_stats();
+        Ok((stats, self.oracle.arch_state()))
+    }
+
     /// The single run path: every simulation — plain stats, tracing,
     /// telemetry — goes through here with a different [`SimObserver`].
     /// The observer is a pure listener; the returned [`SimStats`] are

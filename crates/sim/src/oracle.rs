@@ -85,6 +85,12 @@ impl Oracle {
         self.emu.retired()
     }
 
+    /// Snapshots the final architectural state of the underlying emulator
+    /// (registers, pc, memory digest) for differential comparison.
+    pub fn arch_state(&self) -> redbin_isa::ArchState {
+        self.emu.arch_state()
+    }
+
     fn shadow_reg(&self, r: Reg) -> RbNumber {
         if r.is_zero_reg() {
             RbNumber::ZERO

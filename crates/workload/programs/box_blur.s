@@ -1,0 +1,104 @@
+; box_blur.s — 3×3 box blur over a W×H byte image.
+;
+; Border pixels are copied through; each interior pixel becomes the mean
+; of its 3×3 neighborhood, dividing by 9 with the multiply-shift identity
+; (sum * 7282) >> 16 (the ISA has no integer divide — the Rust reference
+; uses the identical arithmetic). The kernel is a 9-load stencil with
+; mixed positive/negative displacements off two row pointers.
+;
+; Registers:
+;   r16 = W, r17 = H (overridden per scale), r18 = W*H
+;   r19/r20 = src/dst bases, r1 = y, r5 = x, r8 = sum
+;   r9 = checksum, r30 = FNV prime, r3/r27/r28 = LCG (see fill.s)
+
+        .equ SRC, 0x10000
+        .equ DST, 0x40000
+
+        .reg r16, 24
+        .reg r17, 16
+        .reg r3, 0x5EED
+        .reg r30, 0x100000001b3
+
+        mulq r16, r17, r18          ; pixel count
+        lda r19, SRC
+        lda r20, DST
+
+        bis r31, r31, r1            ; ---- fill src with random bytes ----
+bf:     cmplt r1, r18, r2
+        beq r2, bf_done
+        bsr lcg_next
+        and r0, #0xff, r0
+        addq r19, r1, r4
+        stb r0, (r4)
+        addq r1, #1, r1
+        br bf
+bf_done:
+
+        bis r31, r31, r1            ; ---- copy src -> dst (borders) ----
+cp:     cmplt r1, r18, r2
+        beq r2, cp_done
+        addq r19, r1, r4
+        ldbu r5, (r4)
+        addq r20, r1, r6
+        stb r5, (r6)
+        addq r1, #1, r1
+        br cp
+cp_done:
+
+        subq r17, #1, r21           ; ---- blur the interior ----
+        subq r16, #1, r22
+        addq r31, #1, r1            ; y = 1
+by:     cmplt r1, r21, r2
+        beq r2, blur_done
+        addq r31, #1, r5            ; x = 1
+bx:     cmplt r5, r22, r2
+        beq r2, by_next
+        mulq r1, r16, r6
+        addq r6, r5, r6             ; idx = y*W + x
+        addq r19, r6, r7            ; &src[idx]
+        bis r31, r31, r8
+        subq r7, r16, r2            ; row above
+        ldbu r4, -1(r2)
+        addq r8, r4, r8
+        ldbu r4, (r2)
+        addq r8, r4, r8
+        ldbu r4, 1(r2)
+        addq r8, r4, r8
+        ldbu r4, -1(r7)             ; same row
+        addq r8, r4, r8
+        ldbu r4, (r7)
+        addq r8, r4, r8
+        ldbu r4, 1(r7)
+        addq r8, r4, r8
+        addq r7, r16, r2            ; row below
+        ldbu r4, -1(r2)
+        addq r8, r4, r8
+        ldbu r4, (r2)
+        addq r8, r4, r8
+        ldbu r4, 1(r2)
+        addq r8, r4, r8
+        mulq r8, #7282, r8          ; sum / 9, exactly as the reference
+        srl r8, #16, r8
+        addq r20, r6, r2
+        stb r8, (r2)
+        addq r5, #1, r5
+        br bx
+by_next:
+        addq r1, #1, r1
+        br by
+blur_done:
+
+        bis r31, r31, r9            ; ---- checksum dst ----
+        bis r31, r31, r1
+ck:     cmplt r1, r18, r2
+        beq r2, ck_done
+        addq r20, r1, r4
+        ldbu r5, (r4)
+        xor r9, r5, r9
+        mulq r9, r30, r9
+        addq r1, #1, r1
+        br ck
+ck_done:
+        halt
+
+        .include "fill.s"

@@ -1,0 +1,18 @@
+; fill.s — shared LCG helper for the whole-program suite.
+;
+; Knuth's MMIX linear congruential generator. The state lives in r3 (the
+; caller seeds it with `.reg r3, seed`); the multiplier and increment are
+; pinned in r27/r28 here so every program advances the identical sequence
+; the Rust reference implementations mirror.
+;
+;   lcg_next: r3 = r3 * r27 + r28; returns r0 = r3 >> 33 (a 31-bit value).
+;   Clobbers: r0, r3. Link register: r26.
+
+        .reg r27, 6364136223846793005
+        .reg r28, 1442695040888963407
+
+lcg_next:
+        mulq r3, r27, r3
+        addq r3, r28, r3
+        srl r3, #33, r0
+        ret r26

@@ -1,0 +1,97 @@
+; matmul.s — dense n×n integer matrix multiply, C = A × B.
+;
+; A and B hold 15-bit LCG values so an n-term dot product stays far from
+; overflow. The kernel is the classic i/j/k triple loop: long strided load
+; streams through B and a multiply-accumulate recurrence on r24 — exactly
+; the operand pattern the redundant-binary bypass levels are graded on.
+;
+; Registers:
+;   r16 = n (overridden per scale), r17 = n*n
+;   r18/r19/r20 = A/B/C bases, r21/r22/r23 = i/j/k, r24 = acc, r25 = i*n
+;   r9 = checksum, r30 = FNV prime, r3/r27/r28 = LCG (see fill.s)
+
+        .equ A, 0x10000
+        .equ B, 0x30000
+        .equ C, 0x50000
+
+        .reg r16, 10
+        .reg r3, 0xBEEF
+        .reg r30, 0x100000001b3
+
+        mulq r16, r16, r17          ; n*n elements per matrix
+
+        lda r18, A                  ; ---- fill A ----
+        bis r31, r31, r1
+fa:     cmplt r1, r17, r2
+        beq r2, fa_done
+        bsr lcg_next
+        srl r0, #16, r0             ; 15-bit entries
+        s8addq r1, r18, r4
+        stq r0, (r4)
+        addq r1, #1, r1
+        br fa
+fa_done:
+        lda r18, B                  ; ---- fill B ----
+        bis r31, r31, r1
+fb:     cmplt r1, r17, r2
+        beq r2, fb_done
+        bsr lcg_next
+        srl r0, #16, r0
+        s8addq r1, r18, r4
+        stq r0, (r4)
+        addq r1, #1, r1
+        br fb
+fb_done:
+
+        lda r18, A                  ; ---- C = A * B ----
+        lda r19, B
+        lda r20, C
+        bis r31, r31, r21           ; i = 0
+li:     cmplt r21, r16, r1
+        beq r1, mm_done
+        bis r31, r31, r22           ; j = 0
+        mulq r21, r16, r25          ; i*n
+lj:     cmplt r22, r16, r1
+        beq r1, li_next
+        bis r31, r31, r23           ; k = 0
+        bis r31, r31, r24           ; acc = 0
+lk:     cmplt r23, r16, r1
+        beq r1, lk_done
+        addq r25, r23, r2           ; A[i][k]
+        s8addq r2, r18, r2
+        ldq r4, (r2)
+        mulq r23, r16, r5           ; B[k][j]
+        addq r5, r22, r5
+        s8addq r5, r19, r5
+        ldq r6, (r5)
+        mulq r4, r6, r7
+        addq r24, r7, r24
+        addq r23, #1, r23
+        br lk
+lk_done:
+        addq r25, r22, r2           ; C[i][j] = acc
+        s8addq r2, r20, r2
+        stq r24, (r2)
+        addq r22, #1, r22
+        br lj
+li_next:
+        addq r21, #1, r21
+        br li
+mm_done:
+
+        bis r31, r31, r9            ; ---- checksum C ----
+        bis r31, r31, r1
+        lda r4, C
+cs:     cmplt r1, r17, r2
+        beq r2, cs_done
+        s8addq r1, r4, r5
+        ldq r6, (r5)
+        xor r9, r6, r9
+        mulq r9, r30, r9
+        addq r9, r1, r9
+        addq r1, #1, r1
+        br cs
+cs_done:
+        halt
+
+        .include "fill.s"

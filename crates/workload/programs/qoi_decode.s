@@ -1,0 +1,147 @@
+; qoi_decode.s — decoder for a QOI-style image stream.
+;
+; The Rust side encodes an LCG-generated RGBA image with the QOI chunk
+; repertoire (RUN / INDEX / DIFF / LUMA / RGB / RGBA, the standard
+; (3r+5g+7b+11a) mod 64 index hash) and injects the byte stream at STREAM.
+; This program decodes it to OUT and folds an FNV checksum over the
+; decoded bytes — which must equal the checksum of the original image.
+; The workload is branchy byte-at-a-time parsing with a 64-entry lookup
+; table: data-dependent control flow no proxy kernel exercises.
+;
+; Registers:
+;   r16 = pixel count (overridden per scale; stream injected via data)
+;   r20 = stream ptr, r21 = out ptr, r22 = pixels remaining
+;   r10/r11/r12/r13 = current r/g/b/a, r5 = index table base
+;   r9 = checksum, r30 = FNV prime
+
+        .equ STREAM, 0x20000
+        .equ OUT,    0x40000
+        .equ TABLE,  0x60000        ; 64 RGBA entries, zero-initialized
+
+        .reg r16, 192
+        .reg r30, 0x100000001b3
+
+        lda r20, STREAM
+        lda r21, OUT
+        lda r5, TABLE
+        bis r16, r31, r22
+        bis r31, r31, r10           ; previous pixel = (0, 0, 0, 255)
+        bis r31, r31, r11
+        bis r31, r31, r12
+        addq r31, #255, r13
+
+loop:   ble r22, csum
+        ldbu r1, (r20)
+        addq r20, #1, r20
+        cmpeq r1, #0xfe, r2
+        bne r2, op_rgb
+        cmpeq r1, #0xff, r2
+        bne r2, op_rgba
+        srl r1, #6, r2              ; 2-bit tag
+        beq r2, op_index
+        cmpeq r2, #1, r3
+        bne r3, op_diff
+        cmpeq r2, #2, r3
+        bne r3, op_luma
+
+        and r1, #0x3f, r4           ; ---- RUN: repeat prev (b&63)+1 times
+        addq r4, #1, r4
+rl:     ble r4, loop
+        bsr emit_px
+        subq r4, #1, r4
+        br rl
+
+op_rgb: ldbu r10, (r20)
+        ldbu r11, 1(r20)
+        ldbu r12, 2(r20)
+        addq r20, #3, r20
+        br chunk_done
+op_rgba:
+        ldbu r10, (r20)
+        ldbu r11, 1(r20)
+        ldbu r12, 2(r20)
+        ldbu r13, 3(r20)
+        addq r20, #4, r20
+        br chunk_done
+op_index:
+        and r1, #0x3f, r2
+        s4addq r2, r5, r2
+        ldbu r10, (r2)
+        ldbu r11, 1(r2)
+        ldbu r12, 2(r2)
+        ldbu r13, 3(r2)
+        br chunk_done
+op_diff:
+        srl r1, #4, r2              ; dr = ((b>>4)&3) - 2, etc.
+        and r2, #3, r2
+        subq r2, #2, r2
+        addq r10, r2, r10
+        and r10, #0xff, r10
+        srl r1, #2, r2
+        and r2, #3, r2
+        subq r2, #2, r2
+        addq r11, r2, r11
+        and r11, #0xff, r11
+        and r1, #3, r2
+        subq r2, #2, r2
+        addq r12, r2, r12
+        and r12, #0xff, r12
+        br chunk_done
+op_luma:
+        and r1, #0x3f, r2           ; dg = (b&63) - 32
+        subq r2, #32, r2
+        ldbu r3, (r20)
+        addq r20, #1, r20
+        srl r3, #4, r4              ; dr = dg - 8 + (b2>>4)
+        subq r4, #8, r4
+        addq r4, r2, r4
+        addq r10, r4, r10
+        and r10, #0xff, r10
+        and r3, #0xf, r4            ; db = dg - 8 + (b2&15)
+        subq r4, #8, r4
+        addq r4, r2, r4
+        addq r12, r4, r12
+        and r12, #0xff, r12
+        addq r11, r2, r11           ; g += dg
+        and r11, #0xff, r11
+        br chunk_done
+
+chunk_done:                         ; index[hash(px)] = px, then emit
+        mulq r10, #3, r2
+        mulq r11, #5, r3
+        addq r2, r3, r2
+        mulq r12, #7, r3
+        addq r2, r3, r2
+        mulq r13, #11, r3
+        addq r2, r3, r2
+        and r2, #63, r2
+        s4addq r2, r5, r2
+        stb r10, (r2)
+        stb r11, 1(r2)
+        stb r12, 2(r2)
+        stb r13, 3(r2)
+        bsr emit_px
+        br loop
+
+emit_px:                            ; store px, advance out, count down
+        stb r10, (r21)
+        stb r11, 1(r21)
+        stb r12, 2(r21)
+        stb r13, 3(r21)
+        addq r21, #4, r21
+        subq r22, #1, r22
+        ret r26
+
+csum:   bis r31, r31, r9            ; ---- checksum decoded bytes ----
+        bis r31, r31, r1
+        sll r16, #2, r18
+        lda r2, OUT
+ck:     cmplt r1, r18, r3
+        beq r3, done
+        addq r2, r1, r4
+        ldbu r6, (r4)
+        xor r9, r6, r9
+        mulq r9, r30, r9
+        addq r1, #1, r1
+        br ck
+done:   halt

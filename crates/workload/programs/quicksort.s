@@ -1,0 +1,107 @@
+; quicksort.s — recursive quicksort over N random quadwords.
+;
+; Fills a[0..N) from the shared LCG, sorts with a recursive Lomuto
+; partition (a genuine call/return chain with a memory stack), then folds
+; a position-weighted FNV checksum over the sorted array, adding a penalty
+; for every inversion (so the checksum proves sortedness, not just
+; permutation preservation).
+;
+; Registers:
+;   r16 = N (element count; overridden per scale from Rust)
+;   r17 = array base, r29 = stack pointer (grows down), r9 = checksum
+;   r20/r21 = lo/hi arguments, r22..r25 = partition locals
+;   r30 = FNV-1a prime, r3/r27/r28 = LCG state (see fill.s)
+
+        .equ ARRAY, 0x10000
+        .equ STACK_TOP, 0x700000
+
+        .reg r16, 96
+        .reg r17, ARRAY
+        .reg r29, STACK_TOP
+        .reg r3, 0x12345
+        .reg r30, 0x100000001b3
+
+; ---- fill a[0..N) with 31-bit random values ----
+        bis r31, r31, r1            ; i = 0
+fill:   cmplt r1, r16, r2
+        beq r2, fill_done
+        bsr lcg_next
+        s8addq r1, r17, r4
+        stq r0, (r4)
+        addq r1, #1, r1
+        br fill
+fill_done:
+
+; ---- sort ----
+        bis r31, r31, r20           ; lo = 0
+        subq r16, #1, r21           ; hi = N - 1
+        bsr qsort
+
+; ---- checksum ----
+        bis r31, r31, r9
+        bis r31, r31, r1            ; i = 0
+csum:   cmplt r1, r16, r2
+        beq r2, csum_done
+        s8addq r1, r17, r4
+        ldq r5, (r4)
+        addq r1, #1, r6
+        mulq r5, r6, r7             ; a[i] * (i + 1)
+        xor r9, r7, r9
+        mulq r9, r30, r9
+        cmplt r6, r16, r2           ; sortedness: a[i] <= a[i+1]
+        beq r2, next_i
+        ldq r8, 8(r4)
+        cmple r5, r8, r2
+        bne r2, next_i
+        addq r9, #1, r9             ; inversion penalty (never on success)
+next_i: bis r6, r31, r1
+        br csum
+csum_done:
+        halt
+
+; ---- qsort(lo = r20, hi = r21) ----
+qsort:  cmplt r20, r21, r1
+        beq r1, qs_ret              ; lo >= hi: empty or single
+        subq r29, #32, r29          ; frame: ra, lo, hi, p
+        stq r26, (r29)
+        stq r20, 8(r29)
+        stq r21, 16(r29)
+        s8addq r21, r17, r1
+        ldq r22, (r1)               ; pivot = a[hi]
+        bis r20, r31, r23           ; i = lo
+        bis r20, r31, r24           ; j = lo
+part:   cmplt r24, r21, r1
+        beq r1, part_done
+        s8addq r24, r17, r2
+        ldq r3, (r2)                ; a[j]
+        cmplt r3, r22, r1
+        beq r1, no_swap
+        s8addq r23, r17, r4         ; swap a[i], a[j]
+        ldq r5, (r4)
+        stq r3, (r4)
+        stq r5, (r2)
+        addq r23, #1, r23
+no_swap:
+        addq r24, #1, r24
+        br part
+part_done:
+        s8addq r23, r17, r4         ; swap a[i], a[hi]
+        ldq r5, (r4)
+        s8addq r21, r17, r2
+        ldq r3, (r2)
+        stq r3, (r4)
+        stq r5, (r2)
+        stq r23, 24(r29)            ; save the split point
+        subq r23, #1, r21           ; qsort(lo, p - 1)
+        bsr qsort
+        ldq r23, 24(r29)
+        ldq r21, 16(r29)
+        addq r23, #1, r20           ; qsort(p + 1, hi)
+        bsr qsort
+        ldq r26, (r29)
+        ldq r20, 8(r29)
+        ldq r21, 16(r29)
+        addq r29, #32, r29
+qs_ret: ret r26
+
+        .include "fill.s"

@@ -1,0 +1,54 @@
+; sieve.s — Sieve of Eratosthenes over [0, N).
+;
+; One byte per candidate; the marking loop walks multiples of each prime
+; from p² upward — the canonical strided-store pattern — and the counting
+; pass is a long dependent load/branch chain. The checksum packs the
+; prime count into the top bits of the prime sum.
+;
+; Registers:
+;   r16 = N (overridden per scale), r17 = flags base
+;   r20 = p / n, r21 = p*p, r22 = multiple, r23 = prime count
+;   r9 = checksum
+
+        .equ FLAGS, 0x10000
+
+        .reg r16, 2000
+
+        lda r17, FLAGS
+        addq r31, #1, r1            ; 0 and 1 are not prime
+        stb r1, (r17)
+        stb r1, 1(r17)
+
+        addq r31, #2, r20           ; p = 2
+outer:  mulq r20, r20, r21          ; stop once p*p >= N
+        cmplt r21, r16, r2
+        beq r2, count
+        addq r17, r20, r1
+        ldbu r2, (r1)
+        bne r2, next_p              ; composite: skip
+        addq r31, #1, r4
+        bis r21, r31, r22           ; mark p*p, p*p+p, …
+mark:   cmplt r22, r16, r2
+        beq r2, next_p
+        addq r17, r22, r1
+        stb r4, (r1)
+        addq r22, r20, r22
+        br mark
+next_p: addq r20, #1, r20
+        br outer
+
+count:  bis r31, r31, r9            ; sum of primes
+        bis r31, r31, r23           ; count of primes
+        addq r31, #2, r20
+cloop:  cmplt r20, r16, r2
+        beq r2, done
+        addq r17, r20, r1
+        ldbu r2, (r1)
+        bne r2, c_next
+        addq r9, r20, r9
+        addq r23, #1, r23
+c_next: addq r20, #1, r20
+        br cloop
+done:   sll r23, #48, r23
+        xor r9, r23, r9
+        halt

@@ -15,10 +15,16 @@
 //!   kernels (and available to users for their own programs).
 //! * [`suite::Benchmark`] — the twenty proxies, organized into
 //!   [`suite::Suite::Spec95`] and [`suite::Suite::Spec2000`].
+//! * [`programs::WholeProgram`] — five complete programs (quicksort,
+//!   matmul, box blur, prime sieve, a QOI-style decoder) written in
+//!   assembly text, each paired with a Rust reference checksum.
 //! * [`micro`] — synthetic dependence-pattern microbenchmarks with
 //!   analytically predictable behaviour.
 //! * [`profile`] — static/dynamic workload characterization.
-//! * [`text`] — a text-format assembler for hand-written programs.
+//! * [`text`] — a full text assembler (sections, data directives,
+//!   constant expressions, `.include`) for hand-written programs.
+//! * [`fuzz`] — a seeded random-program torture generator for the
+//!   differential test oracle.
 //!
 //! # Example
 //!
@@ -36,11 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod fuzz;
 pub mod kernels;
 pub mod micro;
 pub mod profile;
+pub mod programs;
 pub mod suite;
 pub mod text;
 
 pub use asm::Asm;
+pub use programs::WholeProgram;
 pub use suite::{Benchmark, Scale, Suite};

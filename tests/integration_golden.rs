@@ -1,4 +1,4 @@
-//! Golden-snapshot tests: the JSON serialization of two cheap experiments
+//! Golden-snapshot tests: the JSON serialization of three cheap experiments
 //! is compared byte-for-byte against checked-in files under
 //! `tests/golden/`. Any drift — in the simulator, the experiment drivers,
 //! or the JSON writer — fails the diff with enough context to review.
@@ -38,6 +38,14 @@ fn render_figure_ipc() -> String {
 fn render_figure13() -> String {
     let fig = experiments::figure13(&quick_config());
     json::figure13(&fig).to_pretty()
+}
+
+/// Renders the whole-program suite at test scale — the third golden. Pins
+/// per-program IPC, the full stall-cause breakdown, and the
+/// emulator-verified checksums for all five programs on all four machines.
+fn render_programs() -> String {
+    let rep = experiments::programs(&quick_config());
+    json::programs(&rep).to_pretty()
 }
 
 /// First line where two documents differ, with context for the failure
@@ -129,6 +137,11 @@ fn figure13_matches_golden() {
 }
 
 #[test]
+fn programs_suite_matches_golden() {
+    check_golden("programs_test.json", &render_programs());
+}
+
+#[test]
 fn canonical_hashes_match_pinned_manifest() {
     check_golden("canonical_hashes.json", &render_hash_manifest());
 }
@@ -149,7 +162,7 @@ fn hash_manifest_is_stable_and_collision_free() {
         assert_eq!(id.len(), 16, "{name}: 16 hex digits");
         assert!(seen.insert(id.to_string()), "{name}: duplicate job id {id}");
     }
-    assert!(seen.len() >= 24, "9 experiments x 3 scales minus sleep");
+    assert!(seen.len() >= 27, "10 experiments x 3 scales minus sleep");
 }
 
 #[test]
@@ -158,6 +171,7 @@ fn rendering_is_deterministic_run_to_run() {
     // and the float formatting must all be reproducible.
     assert_eq!(render_figure_ipc(), render_figure_ipc());
     assert_eq!(render_figure13(), render_figure13());
+    assert_eq!(render_programs(), render_programs());
 }
 
 #[test]

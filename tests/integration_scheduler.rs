@@ -113,6 +113,71 @@ fn traces_agree_instruction_by_instruction() {
     }
 }
 
+// ---- whole programs --------------------------------------------------------
+
+#[test]
+fn schedulers_agree_on_the_whole_program_suite() {
+    // The five complete programs (assembled from `crates/workload/programs/`)
+    // stress the schedulers far harder than the proxy kernels: deep call
+    // chains, data-dependent branching, and pointer-chasing loads. Equality
+    // of `SimStats` covers every counter including the stall-cause table.
+    use redbin::workload::WholeProgram;
+    for &wp in WholeProgram::all() {
+        let program = wp.program(Scale::Test);
+        for &model in CoreModel::all() {
+            for width in [4usize, 8] {
+                let cfg = MachineConfig::new(model, width);
+                let stats = assert_schedulers_agree(
+                    &cfg,
+                    &program,
+                    &format!("{} {model} w{width}", wp.name()),
+                );
+                assert!(
+                    stats.retired > 1_000,
+                    "{} {model} w{width}: suspiciously trivial run",
+                    wp.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_programs_agree_under_bypass_ablations() {
+    use redbin::workload::WholeProgram;
+    for &wp in [WholeProgram::Quicksort, WholeProgram::QoiDecode].iter() {
+        let program = wp.program(Scale::Test);
+        let mut cases: Vec<(String, MachineConfig)> = Vec::new();
+        for removed in [&[2u8][..], &[3], &[2, 3]] {
+            cases.push((
+                format!("{} rb_limited no-{removed:?}", wp.name()),
+                MachineConfig::rb_limited(8).with_bypass(BypassLevels::without(removed)),
+            ));
+        }
+        cases.push((
+            format!("{} rb_full rb-rf-only", wp.name()),
+            MachineConfig::rb_full(8).with_rb_rf_only(),
+        ));
+        cases.push((
+            format!("{} faithful rb_full", wp.name()),
+            MachineConfig::rb_full(8).with_datapath(DatapathMode::Faithful),
+        ));
+        for (label, cfg) in cases {
+            assert_schedulers_agree(&cfg, &program, &label);
+        }
+    }
+}
+
+#[test]
+fn whole_program_traces_agree_instruction_by_instruction() {
+    use redbin::workload::WholeProgram;
+    let program = WholeProgram::BoxBlur.program(Scale::Test);
+    for &model in CoreModel::all() {
+        let cfg = MachineConfig::new(model, 8);
+        assert_traces_agree(&cfg, &program, &format!("box_blur trace {model}"));
+    }
+}
+
 // ---- randomized programs ---------------------------------------------------
 
 /// Builds a random but always-terminating program: pointer setup, then a
