@@ -10,10 +10,12 @@
 //!
 //! * **`no-panic`** — panicking constructs (`.unwrap()`, `.expect(`,
 //!   `panic!`, `unreachable!`, `todo!`, `unimplemented!`) are forbidden in
-//!   the always-on service loop (`crates/serve/src/server.rs`) and the
-//!   simulator's hot loop (`crates/sim/src/core.rs`). A worker thread that
+//!   the always-on service loop (`crates/serve/src/server.rs`), the
+//!   simulator's hot loop (`crates/sim/src/core.rs`), and the whole
+//!   exploration service (`crates/explore/src/`). A worker thread that
 //!   panics takes a queued job (or the whole service) with it; the hot loop
-//!   runs billions of times. Test modules are exempt.
+//!   runs billions of times; a grid driver must report a bad point, not
+//!   die on it. Test modules are exempt.
 //! * **`wildcard-stall-match`** — a `match` over [`StallCause`] or
 //!   [`UnavailableReason`] must not have a `_ =>` arm: both taxonomies are
 //!   designed to grow, and a wildcard silently absorbs new variants
@@ -45,6 +47,12 @@ use redbin::json::Json;
 
 /// Files (workspace-relative, `/`-separated) covered by `no-panic`.
 pub const NO_PANIC_FILES: [&str; 2] = ["crates/serve/src/server.rs", "crates/sim/src/core.rs"];
+
+/// Directory prefixes (workspace-relative, `/`-separated, trailing slash)
+/// whose every `.rs` file is covered by `no-panic`. The exploration
+/// service is a long-running fan-out driver: one panicking grid point
+/// must surface as a structured error, not tear down the whole run.
+pub const NO_PANIC_DIRS: [&str; 1] = ["crates/explore/src/"];
 
 /// Tokens `no-panic` forbids. These occurrences live in string literals,
 /// which [`strip_line`] removes before matching — the linter does not flag
@@ -243,7 +251,8 @@ fn allows(line: &str, rule: &str) -> bool {
 /// Scans one Rust source file. `rel` is the workspace-relative path.
 fn scan_rust_file(rel: &str, text: &str, findings: &mut Vec<LintFinding>) {
     let lines: Vec<&str> = text.lines().collect();
-    let no_panic = NO_PANIC_FILES.contains(&rel);
+    let no_panic = NO_PANIC_FILES.contains(&rel)
+        || NO_PANIC_DIRS.iter().any(|d| rel.starts_with(d));
     // `instant-now` exemptions: the telemetry crate is the sanctioned home
     // of the raw call; integration-test directories poll real servers and
     // are covered by the test-module exemption in spirit.
@@ -497,6 +506,18 @@ mod tests {
         assert_eq!(scan("crates/serve/src/server.rs", src).len(), 1);
         assert_eq!(scan("crates/sim/src/core.rs", src).len(), 1);
         assert!(scan("crates/sim/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_tokens_fire_in_covered_directories() {
+        // The whole exploration service is no-panic, binary included.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(scan("crates/explore/src/lib.rs", src).len(), 1);
+        assert_eq!(scan("crates/explore/src/pareto.rs", src).len(), 1);
+        assert_eq!(scan("crates/explore/src/bin/redbin-explore.rs", src).len(), 1);
+        // Safe combinators never fire.
+        let safe = "let v = x.unwrap_or_else(|| fail(\"no\"));\n";
+        assert!(scan("crates/explore/src/lib.rs", safe).is_empty());
     }
 
     #[test]

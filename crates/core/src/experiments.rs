@@ -96,6 +96,77 @@ pub fn run_one(
         .unwrap_or_else(|e| panic!("{benchmark:?} on {model} failed: {e}"))
 }
 
+/// One design-space point's simulation outcome: a single machine over a
+/// benchmark set (the `point` experiment behind `redbin-explore`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Per-benchmark IPC, in the order the benchmarks were given.
+    pub rows: Vec<(Benchmark, f64)>,
+    /// Harmonic-mean IPC over the rows.
+    pub hmean: f64,
+    /// Total simulated cycles across the rows.
+    pub cycles: u64,
+    /// Total retired instructions across the rows.
+    pub retired: u64,
+}
+
+/// Runs one design-space point: `machine` over `benches` at `scale`,
+/// fanning the benchmarks across `threads` workers.
+///
+/// # Panics
+///
+/// Panics if a simulation faults (all bundled benchmarks are well-formed
+/// on buildable machines).
+pub fn run_point(
+    machine: &MachineConfig,
+    benches: &[Benchmark],
+    scale: Scale,
+    threads: usize,
+) -> PointResult {
+    run_point_with(machine, benches, scale, threads, false)
+}
+
+/// [`run_point`], optionally on the retained reference scheduler — the
+/// behavioral spec the event-driven scheduler is tested against. The two
+/// produce bit-identical statistics, which `redbin-explore`'s frontier
+/// stability test pins.
+///
+/// # Panics
+///
+/// Same conditions as [`run_point`].
+pub fn run_point_with(
+    machine: &MachineConfig,
+    benches: &[Benchmark],
+    scale: Scale,
+    threads: usize,
+    reference: bool,
+) -> PointResult {
+    let stats = run_jobs(benches.len(), threads, |i| {
+        let program = benches[i].program(scale);
+        let mut sim = Simulator::new(machine.clone(), &program);
+        if reference {
+            sim = sim.with_reference_scheduler();
+        }
+        sim.run()
+            .unwrap_or_else(|e| panic!("{:?} on {} failed: {e}", benches[i], machine.model))
+    });
+    let rows: Vec<(Benchmark, f64)> = benches
+        .iter()
+        .zip(&stats)
+        .map(|(&b, s)| (b, s.ipc()))
+        .collect();
+    let ipcs: Vec<f64> = rows.iter().map(|&(_, ipc)| ipc).collect();
+    PointResult {
+        machine: machine.clone(),
+        hmean: harmonic_mean(&ipcs),
+        cycles: stats.iter().map(|s| s.cycles).sum(),
+        retired: stats.iter().map(|s| s.retired).sum(),
+        rows,
+    }
+}
+
 /// One benchmark's IPC under the four machine models, in
 /// [`CoreModel::all`] order (Baseline, RB-limited, RB-full, Ideal).
 #[derive(Debug, Clone, PartialEq)]

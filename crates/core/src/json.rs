@@ -711,6 +711,35 @@ pub fn figure14(fig: &Figure14) -> Json {
     obj(vec![("rows", Json::Arr(rows))])
 }
 
+/// Serializes one design-space point result (the `point` experiment
+/// behind `redbin-explore`; see `EXPLORATION.md`).
+pub fn point(r: &crate::experiments::PointResult) -> Json {
+    let rows: Vec<Json> = r
+        .rows
+        .iter()
+        .map(|&(b, ipc)| {
+            obj(vec![
+                ("benchmark", benchmark_name(b)),
+                ("ipc", Json::Num(ipc)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("model", Json::Str(r.machine.model.name().to_string())),
+        ("width", Json::UInt(r.machine.width as u64)),
+        ("bypass", Json::Str(r.machine.bypass.label())),
+        (
+            "steering",
+            Json::Str(crate::wire::steering_name(r.machine.steering).to_string()),
+        ),
+        ("rb-rf-only", Json::Bool(r.machine.rb_rf_only)),
+        ("rows", Json::Arr(rows)),
+        ("hmean-ipc", Json::Num(r.hmean)),
+        ("cycles", Json::UInt(r.cycles)),
+        ("retired", Json::UInt(r.retired)),
+    ])
+}
+
 fn table1_counts(c: &Table1Counts) -> Json {
     Json::Obj(
         Table1Row::all()

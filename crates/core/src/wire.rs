@@ -15,8 +15,8 @@
 //! second from cache byte-identically.
 
 use redbin_sim::hash::Fnv64;
-use redbin_sim::{BypassLevels, DatapathMode, MachineConfig};
-use redbin_workload::{Scale, Suite};
+use redbin_sim::{BypassLevels, CoreModel, DatapathMode, MachineConfig, SteeringPolicy};
+use redbin_workload::{Benchmark, Scale, Suite};
 
 use crate::experiments::{self, ExperimentConfig};
 use crate::json::{self, Json};
@@ -85,6 +85,57 @@ pub fn bypass_from_label(label: &str) -> Result<BypassLevels, WireError> {
     Ok(BypassLevels::without(&removed))
 }
 
+/// The canonical lowercase name of a core model on the wire (`"baseline"`,
+/// `"rb-limited"`, `"rb-full"`, `"ideal"`).
+pub fn model_name(model: CoreModel) -> &'static str {
+    match model {
+        CoreModel::Baseline => "baseline",
+        CoreModel::RbLimited => "rb-limited",
+        CoreModel::RbFull => "rb-full",
+        CoreModel::Ideal => "ideal",
+    }
+}
+
+/// Parses a wire core-model name.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the accepted values on anything else.
+pub fn model_from_name(name: &str) -> Result<CoreModel, WireError> {
+    CoreModel::all()
+        .iter()
+        .copied()
+        .find(|&m| model_name(m) == name)
+        .ok_or_else(|| {
+            wire_err(format!(
+                "unknown model `{name}` (expected baseline|rb-limited|rb-full|ideal)"
+            ))
+        })
+}
+
+/// The canonical name of a steering policy on the wire.
+pub fn steering_name(policy: SteeringPolicy) -> &'static str {
+    match policy {
+        SteeringPolicy::RoundRobinPairs => "round-robin",
+        SteeringPolicy::DependenceAware => "dependence-aware",
+    }
+}
+
+/// Parses a wire steering-policy name.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the accepted values on anything else.
+pub fn steering_from_name(name: &str) -> Result<SteeringPolicy, WireError> {
+    match name {
+        "round-robin" => Ok(SteeringPolicy::RoundRobinPairs),
+        "dependence-aware" => Ok(SteeringPolicy::DependenceAware),
+        other => Err(wire_err(format!(
+            "unknown steering `{other}` (expected round-robin|dependence-aware)"
+        ))),
+    }
+}
+
 /// Parses a wire scale name.
 ///
 /// # Errors
@@ -128,6 +179,12 @@ pub enum ExperimentKind {
     /// A synthetic job that sleeps: used for load, deadline and shutdown
     /// testing without burning CPU (see `SERVING.md`).
     Sleep,
+    /// One design-space point: a single machine configuration
+    /// ([`PointSpec`]) run over a benchmark suite, reporting per-benchmark
+    /// and harmonic-mean IPC. This is the unit of work behind
+    /// `redbin-explore`'s grid sweeps (see `EXPLORATION.md`); its
+    /// content-addressed id makes re-running a grid incremental.
+    Point,
 }
 
 impl ExperimentKind {
@@ -145,6 +202,7 @@ impl ExperimentKind {
             ExperimentKind::Delays,
             ExperimentKind::Programs,
             ExperimentKind::Sleep,
+            ExperimentKind::Point,
         ]
     }
 
@@ -162,6 +220,7 @@ impl ExperimentKind {
             ExperimentKind::Delays => "delays",
             ExperimentKind::Programs => "programs",
             ExperimentKind::Sleep => "sleep",
+            ExperimentKind::Point => "point",
         }
     }
 
@@ -192,7 +251,151 @@ impl ExperimentKind {
             ExperimentKind::Delays => 34,
             ExperimentKind::Programs => 20,
             ExperimentKind::Sleep => 200,
+            ExperimentKind::Point => 21,
         }
+    }
+}
+
+/// The benchmark set a [`ExperimentKind::Point`] job simulates.
+///
+/// `Quick` is a fixed four-benchmark subset (two per SPEC generation,
+/// chosen for diverse behavior) that keeps large grid sweeps tractable;
+/// the full suites are available when the extra fidelity is worth the
+/// wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointSuite {
+    /// go + li (SPECint95), gzip + mcf (SPECint2000).
+    Quick,
+    /// The eight SPECint95 proxies.
+    Spec95,
+    /// The twelve SPECint2000 proxies.
+    Spec2000,
+    /// All twenty benchmarks.
+    All,
+}
+
+impl PointSuite {
+    /// Every suite, in wire-name order.
+    pub fn all() -> &'static [PointSuite] {
+        &[
+            PointSuite::Quick,
+            PointSuite::Spec95,
+            PointSuite::Spec2000,
+            PointSuite::All,
+        ]
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PointSuite::Quick => "quick",
+            PointSuite::Spec95 => "spec95",
+            PointSuite::Spec2000 => "spec2000",
+            PointSuite::All => "all",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] naming the accepted values on anything else.
+    pub fn from_name(name: &str) -> Result<Self, WireError> {
+        Self::all()
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                wire_err(format!(
+                    "unknown point suite `{name}` (expected quick|spec95|spec2000|all)"
+                ))
+            })
+    }
+
+    /// The canonical one-byte tag folded into the cache key.
+    fn canonical_tag(self) -> u8 {
+        match self {
+            PointSuite::Quick => 0,
+            PointSuite::Spec95 => 1,
+            PointSuite::Spec2000 => 2,
+            PointSuite::All => 3,
+        }
+    }
+
+    /// The benchmarks in this set, in reporting order.
+    pub fn benchmarks(self) -> Vec<Benchmark> {
+        match self {
+            PointSuite::Quick => vec![
+                Benchmark::Go,
+                Benchmark::Li,
+                Benchmark::Gzip,
+                Benchmark::Mcf,
+            ],
+            PointSuite::Spec95 => Suite::Spec95.benchmarks().to_vec(),
+            PointSuite::Spec2000 => Suite::Spec2000.benchmarks().to_vec(),
+            PointSuite::All => Benchmark::all(),
+        }
+    }
+}
+
+/// The machine half of a [`ExperimentKind::Point`] job: which single
+/// configuration to simulate. Bypass ablations and the `rb_rf_only`
+/// escape hatch ride on the enclosing [`JobSpec`]'s post-v1 override
+/// fields, so a point job composes with the same knobs every other
+/// experiment understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSpec {
+    /// The §5.1 core model.
+    pub model: CoreModel,
+    /// Machine width (4 or 8; validated at decode time).
+    pub width: usize,
+    /// Scheduler steering policy.
+    pub steering: SteeringPolicy,
+    /// Which benchmarks to run.
+    pub suite: PointSuite,
+}
+
+impl PointSpec {
+    /// Serializes for the `point` key of a job envelope.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("model", Json::Str(model_name(self.model).to_string()));
+        o.set("width", Json::UInt(self.width as u64));
+        o.set("steering", Json::Str(steering_name(self.steering).to_string()));
+        o.set("suite", Json::Str(self.suite.name().to_string()));
+        o
+    }
+
+    /// Decodes the `point` key of a job envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on missing fields, unknown names, or a
+    /// width the paper does not study (anything but 4 or 8).
+    pub fn from_json(v: &Json) -> Result<Self, WireError> {
+        let model = model_from_name(
+            v.get("model")
+                .and_then(Json::as_str)
+                .ok_or_else(|| wire_err("point spec missing `model`"))?,
+        )?;
+        let width = v
+            .get("width")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| wire_err("point spec missing `width`"))? as usize;
+        if width != 4 && width != 8 {
+            return Err(wire_err(format!(
+                "unsupported point width {width} (the paper studies 4- and 8-wide)"
+            )));
+        }
+        let steering = match v.get("steering").and_then(Json::as_str) {
+            Some(s) => steering_from_name(s)?,
+            None => SteeringPolicy::RoundRobinPairs,
+        };
+        let suite = match v.get("suite").and_then(Json::as_str) {
+            Some(s) => PointSuite::from_name(s)?,
+            None => PointSuite::Quick,
+        };
+        Ok(PointSpec { model, width, steering, suite })
     }
 }
 
@@ -218,6 +421,9 @@ pub struct JobSpec {
     /// this produces a statically unsound machine, which the server's
     /// submit-time analysis rejects before queueing.
     pub rb_rf_only: bool,
+    /// The machine of a [`ExperimentKind::Point`] job — required for
+    /// `point`, meaningless (and rejected on decode) for every other kind.
+    pub point: Option<PointSpec>,
 }
 
 impl JobSpec {
@@ -230,6 +436,7 @@ impl JobSpec {
             sleep_ms: 0,
             bypass: None,
             rb_rf_only: false,
+            point: None,
         }
     }
 
@@ -242,6 +449,20 @@ impl JobSpec {
             sleep_ms: millis,
             bypass: None,
             rb_rf_only: false,
+            point: None,
+        }
+    }
+
+    /// A design-space point job (see [`PointSpec`]).
+    pub fn point(spec: PointSpec, scale: Scale) -> Self {
+        JobSpec {
+            kind: ExperimentKind::Point,
+            scale,
+            datapath: DatapathMode::Fast,
+            sleep_ms: 0,
+            bypass: None,
+            rb_rf_only: false,
+            point: Some(spec),
         }
     }
 
@@ -304,6 +525,21 @@ impl JobSpec {
                 MachineConfig::rb_full(8),
                 MachineConfig::ideal(8),
             ],
+            // One machine, described by the point spec. The builder is the
+            // non-panicking construction path; a width it rejects (only
+            // possible by bypassing `PointSpec::from_json`) yields an empty
+            // machine list, which `run` reports as a structured error.
+            ExperimentKind::Point => self
+                .point
+                .and_then(|p| {
+                    MachineConfig::builder(p.model, p.width)
+                        .steering(p.steering)
+                        .datapath(self.datapath)
+                        .build()
+                        .ok()
+                })
+                .into_iter()
+                .collect(),
             // Emulator-only / gate-level / synthetic: no timing machine.
             ExperimentKind::Table1 | ExperimentKind::Delays | ExperimentKind::Sleep => Vec::new(),
         };
@@ -351,6 +587,19 @@ impl JobSpec {
             h.write_tag(0xB2);
             h.write_bool(true);
         }
+        if let Some(p) = self.point {
+            // The machine itself is already folded above; the suite (which
+            // machines cannot express) and the point fields are folded
+            // explicitly so a point job never aliases another kind.
+            h.write_tag(0xB3);
+            h.write_tag(p.model.canonical_tag());
+            h.write_usize(p.width);
+            h.write_tag(match p.steering {
+                SteeringPolicy::RoundRobinPairs => 0,
+                SteeringPolicy::DependenceAware => 1,
+            });
+            h.write_tag(p.suite.canonical_tag());
+        }
         h.finish()
     }
 
@@ -383,6 +632,9 @@ impl JobSpec {
         }
         if self.rb_rf_only {
             o.set("rb-rf-only", Json::Bool(true));
+        }
+        if let Some(p) = self.point {
+            o.set("point", p.to_json());
         }
         o
     }
@@ -421,6 +673,17 @@ impl JobSpec {
             Some(_) => return Err(wire_err("`rb-rf-only` must be a boolean")),
             None => false,
         };
+        let point = match v.get("point") {
+            Some(p) => Some(PointSpec::from_json(p)?),
+            None => None,
+        };
+        if (kind == ExperimentKind::Point) != point.is_some() {
+            return Err(wire_err(if point.is_some() {
+                "`point` is only valid on a point job"
+            } else {
+                "point job missing its `point` spec"
+            }));
+        }
         Ok(JobSpec {
             kind,
             scale,
@@ -428,6 +691,7 @@ impl JobSpec {
             sleep_ms,
             bypass,
             rb_rf_only,
+            point,
         })
     }
 
@@ -459,6 +723,28 @@ impl JobSpec {
             ExperimentKind::Table3 => json::table3(&experiments::table3()),
             ExperimentKind::Programs => json::programs(&experiments::programs(&cfg)),
             ExperimentKind::Delays => json::delay_report(&experiments::delay_report()),
+            ExperimentKind::Point => {
+                let benches = self.point.map(|p| p.suite.benchmarks()).unwrap_or_default();
+                match self.machine_configs().into_iter().next() {
+                    Some(machine) => json::point(&experiments::run_point(
+                        &machine,
+                        &benches,
+                        self.scale,
+                        threads,
+                    )),
+                    None => {
+                        // A point job without a buildable machine can only
+                        // be constructed by bypassing `from_json`; report
+                        // it structurally rather than panicking a worker.
+                        let mut o = Json::object();
+                        o.set(
+                            "error",
+                            Json::Str("point job has no buildable machine".into()),
+                        );
+                        o
+                    }
+                }
+            }
             ExperimentKind::Sleep => {
                 let mut remaining = self.sleep_ms;
                 while remaining > 0 && !cancelled.load(Ordering::Relaxed) {
@@ -953,9 +1239,90 @@ mod tests {
             for scale in [Scale::Test, Scale::Small, Scale::Full] {
                 let mut spec = JobSpec::new(kind, scale);
                 spec.sleep_ms = if kind == ExperimentKind::Sleep { 42 } else { 0 };
+                if kind == ExperimentKind::Point {
+                    spec.point = Some(PointSpec {
+                        model: CoreModel::RbLimited,
+                        width: 8,
+                        steering: SteeringPolicy::DependenceAware,
+                        suite: PointSuite::Quick,
+                    });
+                }
                 let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
                 assert_eq!(back, spec);
             }
+        }
+    }
+
+    #[test]
+    fn point_specs_are_validated_and_content_addressed() {
+        let base = PointSpec {
+            model: CoreModel::Baseline,
+            width: 8,
+            steering: SteeringPolicy::RoundRobinPairs,
+            suite: PointSuite::Quick,
+        };
+        let spec = JobSpec::point(base, Scale::Test);
+        let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
+        assert_eq!(back, spec);
+
+        // The single machine is built from the point spec, with the
+        // post-v1 overrides applied on top.
+        let machines = spec.machine_configs();
+        assert_eq!(machines.len(), 1);
+        assert_eq!(machines[0].model, CoreModel::Baseline);
+        assert_eq!(machines[0].width, 8);
+        let ablated = spec
+            .with_bypass(BypassLevels::without(&[2]))
+            .with_rb_rf_only();
+        let m = &ablated.machine_configs()[0];
+        assert!(m.rb_rf_only);
+        assert_eq!(m.bypass, BypassLevels::without(&[2]));
+
+        // Every axis of the point moves the job id.
+        let mut ids = std::collections::HashSet::new();
+        for model in [CoreModel::Baseline, CoreModel::Ideal] {
+            for width in [4usize, 8] {
+                for steering in [
+                    SteeringPolicy::RoundRobinPairs,
+                    SteeringPolicy::DependenceAware,
+                ] {
+                    for suite in [PointSuite::Quick, PointSuite::All] {
+                        let p = PointSpec { model, width, steering, suite };
+                        assert!(ids.insert(JobSpec::point(p, Scale::Test).job_id()));
+                    }
+                }
+            }
+        }
+        assert_eq!(ids.len(), 16);
+        assert!(ids.insert(ablated.job_id()), "overrides move the id");
+
+        // Decode-time validation: bad widths and misplaced `point` keys.
+        let mut bad_width = spec.to_json();
+        let mut p = base.to_json();
+        p.set("width", Json::UInt(6));
+        bad_width.set("point", p);
+        assert!(JobSpec::from_json(&bad_width).is_err());
+        let bare = JobSpec::new(ExperimentKind::Point, Scale::Test);
+        assert!(JobSpec::from_json(&bare.to_json()).is_err());
+        let mut misplaced = JobSpec::new(ExperimentKind::Figure9, Scale::Test).to_json();
+        misplaced.set("point", base.to_json());
+        assert!(JobSpec::from_json(&misplaced).is_err());
+        assert!(PointSuite::from_name("huge").is_err());
+        assert!(model_from_name("pentium").is_err());
+        assert!(steering_from_name("static").is_err());
+    }
+
+    #[test]
+    fn point_suites_cover_the_benchmarks() {
+        assert_eq!(PointSuite::Quick.benchmarks().len(), 4);
+        assert_eq!(PointSuite::Spec95.benchmarks().len(), 8);
+        assert_eq!(PointSuite::Spec2000.benchmarks().len(), 12);
+        assert_eq!(PointSuite::All.benchmarks().len(), 20);
+        for &s in PointSuite::all() {
+            assert_eq!(PointSuite::from_name(s.name()).expect("parses"), s);
+        }
+        for &m in CoreModel::all() {
+            assert_eq!(model_from_name(model_name(m)).expect("parses"), m);
         }
     }
 

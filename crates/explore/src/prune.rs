@@ -1,0 +1,140 @@
+//! Static pruning: rejecting unsound grid points before any simulation.
+//!
+//! Every enumerated machine goes through the same dataflow reachability
+//! proof the server runs at submit time
+//! ([`redbin_analyze::bypass::validate_machine`]). A point whose bypass
+//! ablation strands an operand class (the §4.2 pathology — typically an
+//! `rb->tc` edge with no surviving forwarding level and no register-file
+//! fallback) is rejected with the exact list of unreachable classes, and
+//! the explorer tallies a count per rejection reason so a grid report
+//! shows *why* a region of the space is empty, not just that it is.
+
+use std::collections::BTreeMap;
+
+use redbin::json::Json;
+use redbin_analyze::bypass::validate_machine;
+
+use crate::grid::GridPoint;
+
+/// The outcome of statically checking one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneVerdict {
+    /// Every operand class can reach its consumers; simulate it.
+    Sound,
+    /// At least one operand class is stranded; the labels name them.
+    Unsound(Vec<String>),
+}
+
+/// Checks a single point without simulating it.
+pub fn check_point(point: &GridPoint) -> Result<PruneVerdict, String> {
+    let machine = point.machine()?;
+    match validate_machine(&machine) {
+        Ok(_) => Ok(PruneVerdict::Sound),
+        Err(unsound) => Ok(PruneVerdict::Unsound(unsound.unreachable)),
+    }
+}
+
+/// Aggregated pruning statistics for a whole grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PruneReport {
+    /// Points that passed the static check.
+    pub sound: Vec<GridPoint>,
+    /// Rejected points with their unreachable-class labels.
+    pub pruned: Vec<(GridPoint, Vec<String>)>,
+    /// How many rejections each unreachable-class label contributed to.
+    /// A point stranding two classes counts once under each label.
+    pub reasons: BTreeMap<String, usize>,
+}
+
+impl PruneReport {
+    /// Total points examined.
+    pub fn total(&self) -> usize {
+        self.sound.len() + self.pruned.len()
+    }
+
+    /// The per-reason tallies as a JSON object (sorted by label).
+    pub fn reasons_json(&self) -> Json {
+        let mut o = Json::object();
+        for (label, count) in &self.reasons {
+            o.set(label, Json::UInt(*count as u64));
+        }
+        o
+    }
+}
+
+/// Partitions a grid into sound and pruned points.
+///
+/// # Errors
+///
+/// Propagates the (structurally impossible on validated grids) machine
+/// build failure from [`GridPoint::machine`].
+pub fn prune(points: &[GridPoint]) -> Result<PruneReport, String> {
+    let mut report = PruneReport::default();
+    for &point in points {
+        match check_point(&point)? {
+            PruneVerdict::Sound => report.sound.push(point),
+            PruneVerdict::Unsound(labels) => {
+                for label in &labels {
+                    *report.reasons.entry(label.clone()).or_insert(0) += 1;
+                }
+                report.pruned.push((point, labels));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use redbin::sim::{BypassLevels, CoreModel};
+
+    #[test]
+    fn default_grid_prunes_exactly_the_rb_rf_only_pathologies() {
+        let spec = GridSpec::default();
+        let report = prune(&spec.enumerate()).unwrap();
+        assert_eq!(report.total(), 448);
+        // Every rejection involves an RB producer whose fallback path was
+        // amputated by `rb_rf_only`: cutting level 3 strands `rb->tc`
+        // (both RB cores), and cutting level 1 additionally strands
+        // `rb->any` on RB-limited, whose consumers cannot take redundant
+        // operands from the later levels.
+        assert_eq!(report.pruned.len(), 64);
+        assert_eq!(report.sound.len(), 384);
+        for (p, labels) in &report.pruned {
+            assert!(matches!(p.model, CoreModel::RbLimited | CoreModel::RbFull));
+            assert!(p.rb_rf_only);
+            assert!(!p.bypass.has(3) || !p.bypass.has(1));
+            assert!(!labels.is_empty());
+        }
+        assert_eq!(report.reasons.get("rb->tc local"), Some(&48));
+        assert_eq!(report.reasons.get("rb->any local"), Some(&24));
+        // Remote forwarding only exists on clustered (8-wide) machines.
+        assert_eq!(report.reasons.get("rb->tc remote"), Some(&24));
+        assert_eq!(report.reasons.get("rb->any remote"), Some(&12));
+        assert_eq!(report.reasons.len(), 4, "no other rejection reasons");
+    }
+
+    #[test]
+    fn sound_and_unsound_spot_checks_match_the_analyzer() {
+        let mut spec = GridSpec::golden_small();
+        spec.rb_rf_only = vec![true];
+        spec.bypass = vec![BypassLevels::without(&[3])];
+        for p in spec.enumerate() {
+            let verdict = check_point(&p).unwrap();
+            match p.model {
+                CoreModel::RbLimited | CoreModel::RbFull => {
+                    assert_eq!(
+                        verdict,
+                        PruneVerdict::Unsound(vec![
+                            "rb->tc local".to_string(),
+                            "rb->tc remote".to_string(),
+                        ])
+                    );
+                }
+                _ => assert_eq!(verdict, PruneVerdict::Sound),
+            }
+        }
+    }
+}

@@ -17,13 +17,18 @@
 //! default; `--no-wait` prints the accepted job id instead. A batch
 //! manifest is `{"jobs":[{"experiment":"figure9","scale":"test"},…]}`;
 //! results are collected into one document keyed by job id.
+//!
+//! On `retry-after` backpressure a submission retries up to `--retries N`
+//! times (default 0: fail immediately), sleeping a jittered backoff
+//! derived from the server's suggestion clamped to `--retry-after-cap`
+//! seconds (default 30).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use redbin::json::{self, Json};
 use redbin::wire::{ExperimentKind, JobSpec, Response};
-use redbin_serve::Client;
+use redbin_serve::{Client, RetryPolicy};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,6 +36,7 @@ fn usage() -> ! {
          (submit EXPERIMENT [--scale test|small|full] [--datapath fast|faithful] \
          [--bypass Full|No-1|No-2|No-3|No-1,2|No-2,3] [--rb-rf-only] \
          [--deadline-ms N] [--no-wait] [--json PATH] \
+         [--retries N] [--retry-after-cap SECONDS] \
          | sleep MILLIS [--deadline-ms N] [--no-wait] \
          | poll JOB | fetch JOB [--json PATH] \
          | batch MANIFEST [--json PATH] | stats | metrics | shutdown)"
@@ -43,7 +49,6 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(1)
 }
 
-#[derive(Default)]
 struct Opts {
     scale: Option<String>,
     datapath: Option<String>,
@@ -52,6 +57,22 @@ struct Opts {
     deadline_ms: Option<u64>,
     no_wait: bool,
     json: Option<std::path::PathBuf>,
+    retry: RetryPolicy,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: None,
+            datapath: None,
+            bypass: None,
+            rb_rf_only: false,
+            deadline_ms: None,
+            no_wait: false,
+            json: None,
+            retry: RetryPolicy { retries: 0, retry_after_cap: 30 },
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -77,6 +98,19 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--no-wait" => o.no_wait = true,
             "--json" => o.json = Some(next("--json").into()),
+            "--retries" => {
+                o.retry.retries = next("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries needs an integer"))
+            }
+            "--retry-after-cap" => {
+                o.retry.retry_after_cap = next("--retry-after-cap")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-after-cap needs an integer (seconds)"));
+                if o.retry.retry_after_cap == 0 {
+                    fail("--retry-after-cap must be at least 1 second");
+                }
+            }
             other => fail(format!("unknown flag `{other}`")),
         }
     }
@@ -114,7 +148,7 @@ fn emit(doc: &Json, path: Option<&std::path::Path>) {
 
 fn submit_and_report(client: &Client, spec: JobSpec, opts: &Opts) -> ExitCode {
     if opts.no_wait {
-        match client.submit(spec, opts.deadline_ms) {
+        match client.submit_with_retry(spec, opts.deadline_ms, opts.retry) {
             Ok(Response::Accepted { job, cache_hit, state }) => {
                 println!(
                     "{job} {} (cache {})",
@@ -124,7 +158,10 @@ fn submit_and_report(client: &Client, spec: JobSpec, opts: &Opts) -> ExitCode {
                 ExitCode::SUCCESS
             }
             Ok(Response::RetryAfter { seconds }) => {
-                eprintln!("queue full; retry after {seconds}s");
+                eprintln!(
+                    "queue full after {} attempt(s); retry after {seconds}s",
+                    opts.retry.retries + 1
+                );
                 ExitCode::FAILURE
             }
             Ok(other) => fail(format!("unexpected reply {other:?}")),

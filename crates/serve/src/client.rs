@@ -12,6 +12,40 @@ use std::time::Duration;
 use redbin::json::Json;
 use redbin::telemetry::Deadline;
 use redbin::wire::{JobSpec, JobState, Request, Response};
+use redbin_testkit::Rng;
+
+/// Bounded retry with jittered backoff for submit-time backpressure.
+///
+/// A `retry-after` answer is the server saying "come back in N seconds";
+/// a fleet of clients that all obey N literally re-collide N seconds
+/// later. The policy clamps the suggestion to `retry_after_cap` and
+/// sleeps a deterministic jitter in `[base/2, base]`, seeded from the
+/// spec's canonical key so the schedule is reproducible per job and
+/// decorrelated across jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional submit attempts after the first (0 = give up on the
+    /// first `retry-after`).
+    pub retries: u32,
+    /// Upper bound, in seconds, on the server-suggested wait.
+    pub retry_after_cap: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first `retry-after` is returned to the caller.
+    pub fn none() -> Self {
+        RetryPolicy { retries: 0, retry_after_cap: 1 }
+    }
+
+    /// The backoff before retry `attempt` (1-based), given the server's
+    /// suggested wait. Deterministic in `(seed, attempt)`.
+    pub fn backoff(&self, seed: u64, attempt: u32, suggested_secs: u64) -> Duration {
+        let base_ms = suggested_secs.min(self.retry_after_cap).saturating_mul(1000);
+        let mut rng = Rng::new(seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let half = base_ms / 2;
+        Duration::from_millis(half + rng.range_u64(0, half + 1))
+    }
+}
 
 /// A client error.
 #[derive(Debug)]
@@ -123,6 +157,33 @@ impl Client {
         deadline_ms: Option<u64>,
     ) -> Result<Response, ClientError> {
         self.request(&Request::Submit { spec, deadline_ms })
+    }
+
+    /// Submits, retrying `policy.retries` times on `retry-after`
+    /// backpressure with jittered backoff (see [`RetryPolicy`]). Any
+    /// other response — including a final `retry-after` once the budget
+    /// is exhausted — is returned to the caller unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from [`Client::submit`].
+    pub fn submit_with_retry(
+        &self,
+        spec: JobSpec,
+        deadline_ms: Option<u64>,
+        policy: RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let seed = spec.canonical_key();
+        let mut attempt = 0;
+        loop {
+            match self.submit(spec, deadline_ms)? {
+                Response::RetryAfter { seconds } if attempt < policy.retries => {
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(seed, attempt, seconds));
+                }
+                other => return Ok(other),
+            }
+        }
     }
 
     /// Polls a job's state.
@@ -271,5 +332,41 @@ impl Client {
         }
         let body = self.fetch(&job)?;
         Ok((job, body, cache_hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy { retries: 3, retry_after_cap: 4 };
+        for seed in [0u64, 1, 0xdead_beef] {
+            for attempt in 1..=3 {
+                for suggested in [0u64, 1, 2, 60] {
+                    let a = policy.backoff(seed, attempt, suggested);
+                    let b = policy.backoff(seed, attempt, suggested);
+                    assert_eq!(a, b, "same inputs, same backoff");
+                    let base = suggested.min(policy.retry_after_cap) * 1000;
+                    assert!(a.as_millis() as u64 >= base / 2);
+                    assert!(a.as_millis() as u64 <= base);
+                }
+            }
+        }
+        // The cap really clamps an adversarially large suggestion.
+        let capped = policy.backoff(7, 1, u64::MAX);
+        assert!(capped <= Duration::from_secs(4));
+        // Different attempts draw different jitter (with these seeds).
+        let one = policy.backoff(42, 1, 4);
+        let two = policy.backoff(42, 2, 4);
+        assert_ne!(one, two, "jitter must vary across attempts");
+    }
+
+    #[test]
+    fn zero_suggestion_means_no_sleep_and_none_means_no_retry() {
+        let policy = RetryPolicy { retries: 5, retry_after_cap: 30 };
+        assert_eq!(policy.backoff(1, 1, 0), Duration::from_millis(0));
+        assert_eq!(RetryPolicy::none().retries, 0);
     }
 }

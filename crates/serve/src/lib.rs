@@ -27,5 +27,5 @@ pub mod client;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use server::{ServeConfig, Server};

@@ -15,7 +15,7 @@ use std::time::Duration;
 use redbin::json::Json;
 use redbin::wire::{ExperimentKind, JobSpec, JobState, Response};
 use redbin::workload::Scale;
-use redbin_serve::{Client, ClientError, ServeConfig, Server};
+use redbin_serve::{Client, ClientError, RetryPolicy, ServeConfig, Server};
 
 /// Binds a server on an ephemeral loopback port and runs it on a
 /// background thread; returns a client plus the join handle.
@@ -121,6 +121,55 @@ fn queue_full_answers_retry_after() {
         .submit(JobSpec::sleep(3_001), None)
         .expect("idempotent resubmit");
     assert!(matches!(deduped, Response::Accepted { state: JobState::Queued, .. }));
+
+    shut_down(&client, handle);
+}
+
+#[test]
+fn backpressure_retry_succeeds_once_the_queue_drains() {
+    // One worker, queue of one, short jobs: the saturated server answers
+    // `retry-after`, and a bounded jittered retry lands the submission
+    // once the running job completes.
+    let (client, handle) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_secs: 1,
+        ..Default::default()
+    });
+    assert!(matches!(
+        client.submit(JobSpec::sleep(700), None).expect("first"),
+        Response::Accepted { .. }
+    ));
+    wait_until(&client, |stats| {
+        stats.get("workers-busy").and_then(Json::as_u64) == Some(1)
+    });
+    assert!(matches!(
+        client.submit(JobSpec::sleep(701), None).expect("second"),
+        Response::Accepted { state: JobState::Queued, .. }
+    ));
+
+    // Zero retries: the policy degrades to plain submit and surfaces the
+    // backpressure unchanged.
+    assert!(matches!(
+        client
+            .submit_with_retry(JobSpec::sleep(702), None, RetryPolicy::none())
+            .expect("answered"),
+        Response::RetryAfter { .. }
+    ));
+
+    // With a retry budget the same spec gets in: each backoff sleeps
+    // 500–1000 ms (cap 1 s), and the 700 ms head job frees the queue.
+    let accepted = client
+        .submit_with_retry(
+            JobSpec::sleep(702),
+            None,
+            RetryPolicy { retries: 20, retry_after_cap: 1 },
+        )
+        .expect("retries get an answer");
+    assert!(
+        matches!(accepted, Response::Accepted { .. }),
+        "expected acceptance after the queue drained, got {accepted:?}"
+    );
 
     shut_down(&client, handle);
 }

@@ -1,0 +1,177 @@
+//! End-to-end tests for `redbin-explore`: the default grid's static
+//! pruning cross-checked against the bypass analyzer, the pinned golden
+//! frontier for the small fixed grid, and scheduler independence of the
+//! whole report document.
+//!
+//! To regenerate the golden after an intentional change:
+//!
+//! ```sh
+//! REDBIN_REGEN_GOLDEN=1 cargo test --test integration_explore
+//! ```
+
+use std::path::PathBuf;
+
+use redbin::json;
+use redbin_analyze::bypass::validate_machine;
+use redbin_explore::backend::Backend;
+use redbin_explore::grid::GridSpec;
+use redbin_explore::{explore, report};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: expected `{la}`, got `{lb}`", i + 1);
+        }
+    }
+    format!(
+        "lengths differ: expected {} lines, got {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("REDBIN_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, rendered).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with REDBIN_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == rendered,
+        "golden mismatch for {name}: {}\n\
+         If the change is intentional, regenerate with REDBIN_REGEN_GOLDEN=1 \
+         and review `git diff tests/golden/`.",
+        first_diff(&expected, rendered)
+    );
+}
+
+fn local() -> Backend {
+    Backend::Local {
+        threads: 0,
+        reference: false,
+    }
+}
+
+/// The default 448-point grid prunes exactly the §4.2 pathology, and
+/// every verdict agrees with a direct call into the bypass analyzer.
+#[test]
+fn default_grid_pruning_matches_the_analyzer() {
+    let spec = GridSpec::default();
+    let points = spec.enumerate();
+    assert_eq!(points.len(), 448, "the default grid is the acceptance grid");
+
+    let report = redbin_explore::prune::prune(&points).expect("machines build");
+    assert_eq!(report.sound.len(), 384);
+    assert_eq!(report.pruned.len(), 64);
+    assert_eq!(report.reasons.get("rb->tc local"), Some(&48));
+    assert_eq!(report.reasons.get("rb->tc remote"), Some(&24));
+    assert_eq!(report.reasons.get("rb->any local"), Some(&24));
+    assert_eq!(report.reasons.get("rb->any remote"), Some(&12));
+    assert_eq!(report.reasons.len(), 4, "no other rejection reasons");
+
+    // Cross-check every single verdict against the analyzer itself.
+    for p in &points {
+        let machine = p.machine().expect("buildable");
+        let analyzer_sound = validate_machine(&machine).is_ok();
+        let kept = report.sound.contains(p);
+        assert_eq!(
+            kept,
+            analyzer_sound,
+            "{}: prune and analyzer disagree",
+            p.label()
+        );
+    }
+}
+
+/// The small fixed grid's full report document is pinned byte-for-byte:
+/// grid, pruning stats, every evaluated point, the frontier, and the
+/// telemetry counters.
+#[test]
+fn small_grid_frontier_matches_golden() {
+    let grid = GridSpec::golden_small();
+    let outcome = explore(&grid, &local()).expect("explores");
+    check_golden(
+        "explore_frontier_test.json",
+        &report::to_json(&outcome).to_pretty(),
+    );
+}
+
+/// The report document is identical under the event-driven and the O(n²)
+/// reference schedulers — the frontier cannot depend on which one ran.
+#[test]
+fn frontier_is_stable_across_schedulers() {
+    let grid = GridSpec::golden_small();
+    let event = explore(&grid, &local()).expect("event-driven");
+    let reference = explore(
+        &grid,
+        &Backend::Local {
+            threads: 0,
+            reference: true,
+        },
+    )
+    .expect("reference");
+    assert_eq!(
+        report::to_json(&event).to_pretty(),
+        report::to_json(&reference).to_pretty(),
+        "schedulers must be bit-identical all the way to the report"
+    );
+}
+
+/// The explore grid's job ids are pinned in the shared canonical-hash
+/// manifest (`tests/golden/canonical_hashes.json`); drift there silently
+/// invalidates every warm `redbin-served` cache.
+#[test]
+fn explore_grid_ids_match_the_hash_manifest() {
+    let path = golden_dir().join("canonical_hashes.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing {} ({e}); regenerate integration_golden", path.display())
+    });
+    let doc = json::parse(&text).expect("manifest parses");
+    let section = doc
+        .get("explore-grid")
+        .expect("manifest has an explore-grid section");
+
+    let grid = GridSpec::golden_small();
+    let mut checked = 0;
+    for p in grid.enumerate() {
+        let key = format!("{}-w{}-{}", p.model.name(), p.width, p.bypass.label());
+        let pinned = section
+            .get(&key)
+            .and_then(json::Json::as_str)
+            .unwrap_or_else(|| panic!("manifest missing `{key}`"));
+        assert_eq!(
+            pinned,
+            p.job_spec(grid.suite, grid.scale).job_id(),
+            "{key}: explore job id drifted from the pinned manifest"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 8);
+}
+
+/// A report produced through the JSON spec decoder matches one from the
+/// equivalent programmatic grid: the CLI's `--spec` path has no side
+/// channel.
+#[test]
+fn spec_file_roundtrip_produces_the_same_report() {
+    let grid = GridSpec::golden_small();
+    let decoded = GridSpec::from_json(&grid.to_json()).expect("decodes");
+    let a = explore(&grid, &local()).expect("explores");
+    let b = explore(&decoded, &local()).expect("explores");
+    assert_eq!(
+        report::to_json(&a).to_pretty(),
+        report::to_json(&b).to_pretty()
+    );
+}

@@ -106,6 +106,9 @@ fn render_hash_manifest() -> String {
         if kind == ExperimentKind::Sleep {
             continue; // sleep ids hash the duration, not a config
         }
+        if kind == ExperimentKind::Point {
+            continue; // point jobs need a spec; pinned under `explore-grid`
+        }
         for scale in [Scale::Test, Scale::Small, Scale::Full] {
             let spec = JobSpec::new(kind, scale);
             jobs.set(
@@ -123,6 +126,35 @@ fn render_hash_manifest() -> String {
         );
     }
     doc.set("figure9-machines", machines);
+    let mut explore = json::Json::object();
+    for &model in redbin::sim::CoreModel::all() {
+        for bypass in [
+            redbin::sim::BypassLevels::FULL,
+            redbin::sim::BypassLevels::without(&[2]),
+        ] {
+            // The `redbin-explore` golden small grid: width 8,
+            // round-robin steering, quick suite, test scale. Mirror the
+            // explorer's normalization — a full network folds as the
+            // default, never as an override.
+            let mut spec = JobSpec::point(
+                redbin::wire::PointSpec {
+                    model,
+                    width: 8,
+                    steering: redbin::sim::SteeringPolicy::RoundRobinPairs,
+                    suite: redbin::wire::PointSuite::Quick,
+                },
+                Scale::Test,
+            );
+            if bypass != redbin::sim::BypassLevels::FULL {
+                spec = spec.with_bypass(bypass);
+            }
+            explore.set(
+                &format!("{}-w8-{}", model.name(), bypass.label()),
+                json::Json::Str(spec.job_id()),
+            );
+        }
+    }
+    doc.set("explore-grid", explore);
     doc.to_pretty()
 }
 
@@ -163,6 +195,17 @@ fn hash_manifest_is_stable_and_collision_free() {
         assert!(seen.insert(id.to_string()), "{name}: duplicate job id {id}");
     }
     assert!(seen.len() >= 27, "10 experiments x 3 scales minus sleep");
+    // The explore-grid point jobs are content-addressed through the same
+    // key space and must not collide with any experiment id.
+    let json::Json::Obj(explore) = doc.get("explore-grid").expect("explore-grid") else {
+        panic!("explore-grid is an object")
+    };
+    assert_eq!(explore.len(), 8, "4 models x 2 bypass configs");
+    for (name, id) in explore {
+        let id = id.as_str().expect("id string");
+        assert_eq!(id.len(), 16, "{name}: 16 hex digits");
+        assert!(seen.insert(id.to_string()), "{name}: duplicate job id {id}");
+    }
 }
 
 #[test]
