@@ -1,23 +1,33 @@
-//! CI gate over the three static-analysis passes.
+//! CI gate over the static-analysis passes and the program verifier.
 //!
-//! Exit codes: 0 clean, 1 problems found, 2 usage error.
+//! Exit codes: 0 clean, 1 problems found, 2 usage error (or, for the
+//! `programs` subcommand, an unsafe/unprovable program).
 
-use redbin_analyze::{parse_args, run, USAGE};
+use redbin_analyze::{parse_command, run_command, PROGRAMS_USAGE, USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(opts) => opts,
+    let cmd = match parse_command(&args) {
+        Ok(cmd) => cmd,
         Err(msg) if msg == "help" => {
             print!("{USAGE}");
             std::process::exit(0);
         }
+        Err(msg) if msg == "help programs" => {
+            print!("{PROGRAMS_USAGE}");
+            std::process::exit(0);
+        }
         Err(msg) => {
-            eprintln!("redbin-analyze: {msg}\n{USAGE}");
+            let usage = if args.first().map(String::as_str) == Some("programs") {
+                PROGRAMS_USAGE
+            } else {
+                USAGE
+            };
+            eprintln!("redbin-analyze: {msg}\n{usage}");
             std::process::exit(2);
         }
     };
-    let (code, report) = run(&opts);
+    let (code, report) = run_command(&cmd);
     print!("{report}");
     std::process::exit(code);
 }

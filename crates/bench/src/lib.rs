@@ -11,11 +11,16 @@
 //! * `--profile` — `redbin-repro all` only: also write a `BENCH_5.json`
 //!   throughput profile (wall-clock, sims/sec, instrs/sec per figure);
 //! * `--seeds N` / `--start-seed S` — `redbin-repro fuzz` only: run the
-//!   torture seeds `S..S+N` through the differential oracle.
+//!   torture seeds `S..S+N` through the differential oracle;
+//! * `--verify-static` — `redbin-repro fuzz` only: run every torture
+//!   program through the static safety verifier (`redbin-analyze
+//!   programs`) before handing it to the oracle, failing loudly with the
+//!   seed and a disassembly listing if one is unprovable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use redbin::cli::parse_u64;
 use redbin::prelude::*;
 use redbin::telemetry::{Clock, MetricsRegistry};
 
@@ -36,6 +41,9 @@ pub struct BenchArgs {
     pub seeds: Option<u64>,
     /// `redbin-repro fuzz`: the first torture seed of the range.
     pub start_seed: Option<u64>,
+    /// `redbin-repro fuzz`: verify each torture program statically
+    /// before the differential oracle sees it.
+    pub verify_static: bool,
 }
 
 impl BenchArgs {
@@ -57,15 +65,6 @@ pub fn parse_scale(value: &str) -> Result<Scale, String> {
         "full" => Ok(Scale::Full),
         other => Err(format!("unknown scale `{other}` (expected test|small|full)")),
     }
-}
-
-/// Parses a non-negative integer flag value (decimal, or hex with `0x`).
-fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
-    let parsed = match value.strip_prefix("0x") {
-        Some(hex) => u64::from_str_radix(hex, 16),
-        None => value.parse(),
-    };
-    parsed.map_err(|_| format!("{flag}: `{value}` is not a non-negative integer"))
 }
 
 /// Strictly parses a repro binary's argument list (without the program
@@ -104,10 +103,16 @@ pub fn parse_cli(args: &[String]) -> Result<BenchArgs, String> {
             }
             "--seeds" => out.seeds = Some(parse_u64(flag, &value(&mut it)?)?),
             "--start-seed" => out.start_seed = Some(parse_u64(flag, &value(&mut it)?)?),
+            "--verify-static" => {
+                if inline.is_some() {
+                    return Err("--verify-static takes no value".to_string());
+                }
+                out.verify_static = true;
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (expected --scale, --json, --server, \
-                     --profile, --seeds or --start-seed)"
+                     --profile, --seeds, --start-seed or --verify-static)"
                 ))
             }
         }
@@ -265,6 +270,15 @@ mod tests {
         assert!(parse_cli(&argv(&["--seeds", "many"])).is_err());
         assert!(parse_cli(&argv(&["--start-seed", "-1"])).is_err());
         assert!(parse_cli(&argv(&["--seeds"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn verify_static_flag_parses_and_takes_no_value() {
+        let a = parse_cli(&argv(&["--verify-static", "--seeds", "10"])).unwrap();
+        assert!(a.verify_static);
+        assert_eq!(a.seeds, Some(10));
+        assert!(!parse_cli(&[]).unwrap().verify_static);
+        assert!(parse_cli(&argv(&["--verify-static=yes"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Small CLI parsing helpers shared by the workspace binaries.
+//!
+//! Every binary in the workspace parses its arguments strictly (unknown
+//! flags are errors, per the PR-2 convention); the value parsers they
+//! share live here so `redbin-repro fuzz --start-seed 0x2a` and
+//! `redbin-analyze programs --start-seed 0x2a` accept exactly the same
+//! spellings.
+
+/// Parses a non-negative integer flag value (decimal, or hex with `0x`).
+///
+/// # Errors
+///
+/// Returns a usage-style message naming the flag and the offending value.
+pub fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| format!("{flag}: `{value}` is not a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_and_hex_parse() {
+        assert_eq!(parse_u64("--seeds", "42"), Ok(42));
+        assert_eq!(parse_u64("--seeds", "0x2a"), Ok(42));
+        assert_eq!(parse_u64("--seeds", "0"), Ok(0));
+        assert_eq!(parse_u64("--seeds", "0xffffffffffffffff"), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn junk_is_rejected_with_the_flag_name() {
+        for bad in ["", "-1", "0x", "12a", "0xzz", "1.5"] {
+            let err = parse_u64("--start-seed", bad).unwrap_err();
+            assert!(err.contains("--start-seed"), "{err}");
+            assert!(err.contains(bad) || bad.is_empty(), "{err}");
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub use redbin_sim as sim;
 pub use redbin_telemetry as telemetry;
 pub use redbin_workload as workload;
 
+pub mod cli;
 pub mod differential;
 pub mod experiments;
 pub mod json;

@@ -185,6 +185,12 @@ pub enum ExperimentKind {
     /// `redbin-explore`'s grid sweeps (see `EXPLORATION.md`); its
     /// content-addressed id makes re-running a grid incremental.
     Point,
+    /// A client-submitted assembly program, run on the four 8-wide
+    /// machines. The server assembles the source and runs the
+    /// `redbin-analyze` program verifier **before queueing**: anything it
+    /// cannot prove memory-safe and terminating is rejected with a
+    /// structured error (see `SERVING.md`).
+    Custom,
 }
 
 impl ExperimentKind {
@@ -203,6 +209,7 @@ impl ExperimentKind {
             ExperimentKind::Programs,
             ExperimentKind::Sleep,
             ExperimentKind::Point,
+            ExperimentKind::Custom,
         ]
     }
 
@@ -221,6 +228,7 @@ impl ExperimentKind {
             ExperimentKind::Programs => "programs",
             ExperimentKind::Sleep => "sleep",
             ExperimentKind::Point => "point",
+            ExperimentKind::Custom => "custom",
         }
     }
 
@@ -252,6 +260,7 @@ impl ExperimentKind {
             ExperimentKind::Programs => 20,
             ExperimentKind::Sleep => 200,
             ExperimentKind::Point => 21,
+            ExperimentKind::Custom => 22,
         }
     }
 }
@@ -401,7 +410,7 @@ impl PointSpec {
 
 /// One unit of server work: an experiment at a scale/datapath, or a
 /// synthetic sleep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// What to run.
     pub kind: ExperimentKind,
@@ -424,6 +433,9 @@ pub struct JobSpec {
     /// The machine of a [`ExperimentKind::Point`] job — required for
     /// `point`, meaningless (and rejected on decode) for every other kind.
     pub point: Option<PointSpec>,
+    /// The assembly source of a [`ExperimentKind::Custom`] job — required
+    /// for `custom`, rejected on decode for every other kind.
+    pub custom: Option<String>,
 }
 
 impl JobSpec {
@@ -437,6 +449,7 @@ impl JobSpec {
             bypass: None,
             rb_rf_only: false,
             point: None,
+            custom: None,
         }
     }
 
@@ -450,6 +463,7 @@ impl JobSpec {
             bypass: None,
             rb_rf_only: false,
             point: None,
+            custom: None,
         }
     }
 
@@ -463,6 +477,22 @@ impl JobSpec {
             bypass: None,
             rb_rf_only: false,
             point: Some(spec),
+            custom: None,
+        }
+    }
+
+    /// A custom-program job: `source` is assembly text for the
+    /// [`text`](redbin_workload::text) assembler.
+    pub fn custom_program(source: impl Into<String>, scale: Scale) -> Self {
+        JobSpec {
+            kind: ExperimentKind::Custom,
+            scale,
+            datapath: DatapathMode::Fast,
+            sleep_ms: 0,
+            bypass: None,
+            rb_rf_only: false,
+            point: None,
+            custom: Some(source.into()),
         }
     }
 
@@ -500,9 +530,10 @@ impl JobSpec {
                 .collect()
         };
         let mut out = match self.kind {
-            ExperimentKind::Figure9 | ExperimentKind::Figure10 | ExperimentKind::Programs => {
-                four_models(8)
-            }
+            ExperimentKind::Figure9
+            | ExperimentKind::Figure10
+            | ExperimentKind::Programs
+            | ExperimentKind::Custom => four_models(8),
             ExperimentKind::Figure11 | ExperimentKind::Figure12 => four_models(4),
             ExperimentKind::Figure13 => {
                 vec![MachineConfig::rb_full(8).with_datapath(self.datapath)]
@@ -600,6 +631,12 @@ impl JobSpec {
             });
             h.write_tag(p.suite.canonical_tag());
         }
+        if let Some(src) = &self.custom {
+            // The program text IS the experiment: fold it whole so two
+            // custom jobs alias exactly when their sources are identical.
+            h.write_tag(0xB4);
+            h.write_str(src);
+        }
         h.finish()
     }
 
@@ -633,8 +670,11 @@ impl JobSpec {
         if self.rb_rf_only {
             o.set("rb-rf-only", Json::Bool(true));
         }
-        if let Some(p) = self.point {
+        if let Some(p) = &self.point {
             o.set("point", p.to_json());
+        }
+        if let Some(src) = &self.custom {
+            o.set("source", Json::Str(src.clone()));
         }
         o
     }
@@ -684,6 +724,18 @@ impl JobSpec {
                 "point job missing its `point` spec"
             }));
         }
+        let custom = match v.get("source") {
+            Some(Json::Str(src)) => Some(src.clone()),
+            Some(_) => return Err(wire_err("`source` must be a string")),
+            None => None,
+        };
+        if (kind == ExperimentKind::Custom) != custom.is_some() {
+            return Err(wire_err(if custom.is_some() {
+                "`source` is only valid on a custom job"
+            } else {
+                "custom job missing its `source` text"
+            }));
+        }
         Ok(JobSpec {
             kind,
             scale,
@@ -692,6 +744,7 @@ impl JobSpec {
             bypass,
             rb_rf_only,
             point,
+            custom,
         })
     }
 
@@ -741,6 +794,44 @@ impl JobSpec {
                             "error",
                             Json::Str("point job has no buildable machine".into()),
                         );
+                        o
+                    }
+                }
+            }
+            ExperimentKind::Custom => {
+                // Assembly and safety were validated at submit time; decode
+                // failures here (only reachable by constructing a spec
+                // in-process) are reported structurally, not panicked.
+                let parsed = self
+                    .custom
+                    .as_deref()
+                    .ok_or_else(|| "custom job has no source".to_string())
+                    .and_then(|src| {
+                        redbin_workload::text::parse(src).map_err(|e| e.to_string())
+                    });
+                match parsed {
+                    Err(e) => {
+                        let mut o = Json::object();
+                        o.set("error", Json::Str(e));
+                        o
+                    }
+                    Ok(prog) => {
+                        let prog = prog.with_name("custom");
+                        let mut o = Json::object();
+                        o.set("instructions", Json::UInt(prog.code.len() as u64));
+                        let mut per_model = Json::object();
+                        for machine in self.machine_configs() {
+                            let name = machine.model.name().to_string();
+                            let stats = redbin_sim::Simulator::new(machine, &prog)
+                                .run()
+                                .unwrap_or_else(|e| panic!("custom program faults: {e}"));
+                            let mut row = Json::object();
+                            row.set("ipc", Json::Num(stats.ipc()));
+                            row.set("retired", Json::UInt(stats.retired));
+                            row.set("cycles", Json::UInt(stats.cycles));
+                            per_model.set(&name, row);
+                        }
+                        o.set("models", per_model);
                         o
                     }
                 }
@@ -1197,14 +1288,14 @@ mod tests {
         assert_ne!(a.job_id(), c.job_id());
         let d = JobSpec::new(ExperimentKind::Figure10, Scale::Test);
         assert_ne!(a.job_id(), d.job_id());
-        let mut e = a;
+        let mut e = a.clone();
         e.datapath = DatapathMode::Faithful;
         assert_ne!(a.job_id(), e.job_id());
         assert_ne!(JobSpec::sleep(1).job_id(), JobSpec::sleep(2).job_id());
         // Post-v1 knobs change the id when set…
-        let f = a.with_bypass(BypassLevels::without(&[3]));
+        let f = a.clone().with_bypass(BypassLevels::without(&[3]));
         assert_ne!(a.job_id(), f.job_id());
-        let g = a.with_rb_rf_only();
+        let g = a.clone().with_rb_rf_only();
         assert_ne!(a.job_id(), g.job_id());
         assert_ne!(f.job_id(), g.job_id());
         // …and even on kinds with no timing machines (fold is explicit).
@@ -1247,9 +1338,46 @@ mod tests {
                         suite: PointSuite::Quick,
                     });
                 }
+                if kind == ExperimentKind::Custom {
+                    spec.custom = Some("\thalt\n".to_string());
+                }
                 let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
                 assert_eq!(back, spec);
             }
+        }
+    }
+
+    #[test]
+    fn custom_specs_are_validated_content_addressed_and_runnable() {
+        let src = "\
+        .reg r1, 5
+top:    subq r1, #1, r1
+        bgt r1, top
+        halt
+";
+        let spec = JobSpec::custom_program(src, Scale::Test);
+        let back = JobSpec::from_json(&spec.to_json()).expect("roundtrips");
+        assert_eq!(back, spec);
+        // The source is the identity: different text, different job.
+        let other = JobSpec::custom_program("\thalt\n", Scale::Test);
+        assert_ne!(spec.job_id(), other.job_id());
+        assert_eq!(spec.machine_configs().len(), 4, "four 8-wide machines");
+
+        // `source` is rejected off a custom job, and required on one.
+        let mut bad = JobSpec::new(ExperimentKind::Figure9, Scale::Test).to_json();
+        bad.set("source", Json::Str("halt".into()));
+        assert!(JobSpec::from_json(&bad).is_err());
+        let mut missing = spec.to_json();
+        missing.set("source", Json::Null);
+        assert!(JobSpec::from_json(&missing).is_err());
+
+        let out = spec.run(1, &std::sync::atomic::AtomicBool::new(false));
+        let models = out.get("models").expect("models");
+        for m in CoreModel::all() {
+            let row = models.get(m.name()).expect("model row");
+            // 5 loop trips x 2 instructions; the simulator does not
+            // count the halt itself as retired.
+            assert_eq!(row.get("retired"), Some(&Json::UInt(10)));
         }
     }
 
@@ -1271,7 +1399,7 @@ mod tests {
         assert_eq!(machines.len(), 1);
         assert_eq!(machines[0].model, CoreModel::Baseline);
         assert_eq!(machines[0].width, 8);
-        let ablated = spec
+        let ablated = spec.clone()
             .with_bypass(BypassLevels::without(&[2]))
             .with_rb_rf_only();
         let m = &ablated.machine_configs()[0];

@@ -1,0 +1,72 @@
+//! Dataflow-limit annotation: the static IPC upper bound every grid
+//! point is measured against.
+//!
+//! The bound comes from `redbin_analyze::program`: the critical-path
+//! height of each benchmark's dynamic dependence graph under the
+//! point's execution latencies, capped by fetch width. It deliberately
+//! ignores bypass ablations, steering and `rb_rf_only` — it is the
+//! dataflow limit the paper's machines chase — so annotating each point
+//! with it turns the frontier into "what fraction of the limit does
+//! this configuration buy, and at what adder delay".
+//!
+//! Tracing a benchmark is the expensive half (one emulated run of the
+//! whole workload) and depends only on (benchmark, scale); querying a
+//! (model, width) pair against the cached facts is O(1). A grid fixes
+//! its suite and scale, so one [`SuiteBounds`] serves every point.
+
+use redbin::sim::stats::harmonic_mean;
+use redbin::sim::CoreModel;
+use redbin::wire::PointSuite;
+use redbin::workload::Scale;
+use redbin_analyze::program::{TraceFacts, TRACE_STEP_BOUND};
+
+/// Per-benchmark dependence facts for one (suite, scale), traced once
+/// and queried for every (model, width) combination in the grid.
+#[derive(Debug, Clone)]
+pub struct SuiteBounds {
+    facts: Vec<TraceFacts>,
+}
+
+impl SuiteBounds {
+    /// Traces every benchmark of the suite at the given scale.
+    pub fn trace(suite: PointSuite, scale: Scale) -> SuiteBounds {
+        let facts = suite
+            .benchmarks()
+            .into_iter()
+            .map(|b| TraceFacts::trace(&b.program(scale), TRACE_STEP_BOUND))
+            .collect();
+        SuiteBounds { facts }
+    }
+
+    /// The suite's dataflow-limit IPC for one machine shape: the
+    /// harmonic mean of the per-benchmark bounds, mirroring how the
+    /// simulated `hmean-ipc` aggregates the same suite.
+    pub fn bound_ipc(&self, model: CoreModel, width: usize) -> f64 {
+        let per_bench: Vec<f64> = self
+            .facts
+            .iter()
+            .map(|f| f.bound_ipc(model, width))
+            .collect();
+        harmonic_mean(&per_bench)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_positive_and_width_monotone() {
+        let b = SuiteBounds::trace(PointSuite::Quick, Scale::Test);
+        for &model in CoreModel::all() {
+            let w4 = b.bound_ipc(model, 4);
+            let w8 = b.bound_ipc(model, 8);
+            assert!(w4 > 0.0 && w8 > 0.0, "{model:?}");
+            assert!(w8 >= w4, "wider fetch cannot lower the limit");
+            assert!(w4 <= 4.0 + 1e-9, "{model:?}: width caps the bound");
+        }
+        // Baseline's 2-cycle adder lengthens dependence chains, so its
+        // limit can only be at or below the fast-latency models'.
+        assert!(b.bound_ipc(CoreModel::Baseline, 8) <= b.bound_ipc(CoreModel::Ideal, 8) + 1e-9);
+    }
+}

@@ -23,6 +23,7 @@
 //! report document (the golden snapshot under `tests/golden/` pins one).
 
 pub mod backend;
+pub mod bounds;
 pub mod delay;
 pub mod grid;
 pub mod pareto;
@@ -49,6 +50,9 @@ pub struct EvaluatedPoint {
     pub job_id: String,
     /// Harmonic-mean IPC over the grid's benchmark suite.
     pub ipc: f64,
+    /// The suite's static dataflow-limit IPC for this point's model and
+    /// width (bypass, steering and `rb_rf_only` cannot raise it).
+    pub bound_ipc: f64,
     /// Critical-path delay of the point's adder under its delay model.
     pub delay: f64,
     /// `true` when the backend answered this point's simulation from a
@@ -113,6 +117,10 @@ pub fn explore(grid: &GridSpec, backend: &Backend) -> Result<ExploreOutcome, Str
     }
     metrics.add("explore.sims.unique", specs.len() as u64);
 
+    // The dataflow limit depends only on (model, width): one trace of
+    // the suite serves every point, and the per-point query is O(1).
+    let suite_bounds = bounds::SuiteBounds::trace(grid.suite, grid.scale);
+
     let outcomes = backend::run_specs(backend, &specs)?;
     metrics.add("explore.sims.run", outcomes.len() as u64);
     let cache_hits = outcomes.iter().filter(|o| o.cache_hit).count() as u64;
@@ -132,6 +140,7 @@ pub fn explore(grid: &GridSpec, backend: &Backend) -> Result<ExploreOutcome, Str
                 point,
                 job_id: job_id.clone(),
                 ipc: hmean,
+                bound_ipc: suite_bounds.bound_ipc(point.model, point.width),
                 delay: adder_delay(point.model, point.delay),
                 cache_hit,
             }
@@ -188,6 +197,11 @@ mod tests {
         // The frontier is sorted by delay and internally non-dominated.
         for w in out.frontier.windows(2) {
             assert!(out.evaluated[w[0]].delay <= out.evaluated[w[1]].delay);
+        }
+        // No configuration beats its own dataflow limit.
+        for ep in &out.evaluated {
+            assert!(ep.bound_ipc > 0.0);
+            assert!(ep.ipc <= ep.bound_ipc + 1e-9, "{}", ep.point.label());
         }
         assert_eq!(out.metrics.counter("explore.points.enumerated"), 8);
         assert_eq!(out.metrics.counter("explore.sims.cache-hits"), 0);

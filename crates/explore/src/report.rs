@@ -12,6 +12,15 @@ use redbin::wire::steering_name;
 
 use crate::{EvaluatedPoint, ExploreOutcome};
 
+/// Simulated IPC as a percentage of the point's static dataflow limit.
+fn pct_of_bound(ep: &EvaluatedPoint) -> f64 {
+    if ep.bound_ipc > 0.0 {
+        100.0 * ep.ipc / ep.bound_ipc
+    } else {
+        0.0
+    }
+}
+
 fn point_json(ep: &EvaluatedPoint, on_frontier: bool) -> Json {
     let mut o = Json::object();
     o.set("label", Json::Str(ep.point.label()));
@@ -26,6 +35,8 @@ fn point_json(ep: &EvaluatedPoint, on_frontier: bool) -> Json {
     o.set("rb-rf-only", Json::Bool(ep.point.rb_rf_only));
     o.set("delay-model", Json::Str(ep.point.delay.name()));
     o.set("hmean-ipc", Json::Num(ep.ipc));
+    o.set("bound-ipc", Json::Num(ep.bound_ipc));
+    o.set("pct-of-bound", Json::Num(pct_of_bound(ep)));
     o.set("delay", Json::Num(ep.delay));
     o.set("frontier", Json::Bool(on_frontier));
     o
@@ -89,14 +100,15 @@ pub fn render_text(out: &ExploreOutcome) -> String {
     let _ = writeln!(s, "Pareto frontier ({} points):", out.frontier.len());
     let _ = writeln!(
         s,
-        "{:>10} {:>5} {:>8} {:>16} {:>10} {:>6} {:>9} {:>7}",
-        "model", "width", "bypass", "steering", "rb-rf-only", "delay", "adder", "h-mean"
+        "{:>10} {:>5} {:>8} {:>16} {:>10} {:>6} {:>9} {:>7} {:>7} {:>7}",
+        "model", "width", "bypass", "steering", "rb-rf-only", "delay", "adder", "h-mean", "bound",
+        "%limit"
     );
     for &i in &out.frontier {
         let ep = &out.evaluated[i];
         let _ = writeln!(
             s,
-            "{:>10} {:>5} {:>8} {:>16} {:>10} {:>6} {:>9.2} {:>7.3}",
+            "{:>10} {:>5} {:>8} {:>16} {:>10} {:>6} {:>9.2} {:>7.3} {:>7.3} {:>6.1}%",
             ep.point.model.name(),
             ep.point.width,
             ep.point.bypass.label(),
@@ -105,6 +117,8 @@ pub fn render_text(out: &ExploreOutcome) -> String {
             ep.point.delay.name(),
             ep.delay,
             ep.ipc,
+            ep.bound_ipc,
+            pct_of_bound(ep),
         );
     }
     s
@@ -138,5 +152,14 @@ mod tests {
         let text = render_text(&a);
         assert!(text.contains("Pareto frontier"));
         assert!(text.contains("h-mean"));
+        assert!(text.contains("%limit"));
+        let points = doc.get("points").and_then(Json::as_array).unwrap();
+        for p in points {
+            let ipc = p.get("hmean-ipc").and_then(Json::as_f64).unwrap();
+            let bound = p.get("bound-ipc").and_then(Json::as_f64).unwrap();
+            let pct = p.get("pct-of-bound").and_then(Json::as_f64).unwrap();
+            assert!(ipc <= bound + 1e-9, "simulated IPC beats its limit");
+            assert!((0.0..=100.0 + 1e-6).contains(&pct));
+        }
     }
 }

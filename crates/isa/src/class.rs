@@ -40,6 +40,12 @@ impl LatencyClass {
         ]
     }
 
+    /// The class's position in [`Self::all`] (declaration order) — an
+    /// infallible index for per-class count tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// A display name matching Table 3's row labels.
     pub fn name(self) -> &'static str {
         match self {
@@ -86,6 +92,13 @@ pub fn latency_class(op: Opcode) -> LatencyClass {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_agrees_with_all_order() {
+        for (i, &c) in LatencyClass::all().iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
 
     #[test]
     fn every_opcode_has_a_class() {

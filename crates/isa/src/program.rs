@@ -19,6 +19,13 @@ pub struct Program {
     pub entry: usize,
     /// A human-readable name (benchmark proxies set this).
     pub name: String,
+    /// Declared memory regions as `(address, length)` intervals — the
+    /// program's `.data`/`.bss` footprint. Optional metadata consumed by
+    /// static analysis (every load/store must land inside a region); an
+    /// empty list means "derive from the `data` chunks". Scratch areas
+    /// with no initial contents (hash tables, result buffers) must be
+    /// declared here to be provably in bounds.
+    pub regions: Vec<(u64, u64)>,
 }
 
 impl Program {
@@ -49,6 +56,42 @@ impl Program {
     pub fn with_reg(mut self, reg: u8, value: u64) -> Self {
         self.init_regs.push((reg, value));
         self
+    }
+
+    /// Declares a memory region of `len` bytes at `addr` (builder style).
+    /// See [`Program::regions`].
+    #[must_use]
+    pub fn with_region(mut self, addr: u64, len: u64) -> Self {
+        self.regions.push((addr, len));
+        self
+    }
+
+    /// The program's memory regions: the declared [`Program::regions`]
+    /// when any exist, otherwise the extents of the initial `data`
+    /// chunks. Returned sorted and coalesced (adjacent and overlapping
+    /// intervals merged).
+    pub fn memory_regions(&self) -> Vec<(u64, u64)> {
+        let mut spans: Vec<(u64, u64)> = if self.regions.is_empty() {
+            self.data
+                .iter()
+                .map(|(addr, bytes)| (*addr, bytes.len() as u64))
+                .collect()
+        } else {
+            self.regions.clone()
+        };
+        spans.retain(|&(_, len)| len > 0);
+        spans.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (start, len) in spans {
+            match merged.last_mut() {
+                Some((mstart, mlen)) if start <= mstart.saturating_add(*mlen) => {
+                    let end = start.saturating_add(len).max(mstart.saturating_add(*mlen));
+                    *mlen = end - *mstart;
+                }
+                _ => merged.push((start, len)),
+            }
+        }
+        merged
     }
 
     /// Builds the initial memory image.
@@ -95,5 +138,21 @@ mod tests {
         assert_eq!(p.init_regs, vec![(4, 99)]);
         assert!(p.fetch(0).is_some());
         assert!(p.fetch(1).is_none());
+    }
+
+    #[test]
+    fn regions_default_to_data_extents_and_coalesce() {
+        let p = Program::new(vec![Inst::halt()])
+            .with_data(0x100, vec![0; 8])
+            .with_data(0x108, vec![0; 8])
+            .with_data(0x200, vec![0; 4]);
+        assert_eq!(p.memory_regions(), vec![(0x100, 16), (0x200, 4)]);
+
+        // Declared regions take precedence over data extents.
+        let q = Program::new(vec![Inst::halt()])
+            .with_data(0x100, vec![0; 8])
+            .with_region(0x400, 64)
+            .with_region(0x420, 64);
+        assert_eq!(q.memory_regions(), vec![(0x400, 0x60)]);
     }
 }

@@ -4,6 +4,7 @@
 //! redbin-submit --server HOST:PORT submit EXPERIMENT [--scale S] [--datapath D]
 //!               [--bypass LEVELS] [--rb-rf-only]
 //!               [--deadline-ms N] [--no-wait] [--json PATH]
+//! redbin-submit --server HOST:PORT custom FILE.s [--scale S] [--deadline-ms N] [--no-wait]
 //! redbin-submit --server HOST:PORT sleep MILLIS [--deadline-ms N] [--no-wait]
 //! redbin-submit --server HOST:PORT poll JOB
 //! redbin-submit --server HOST:PORT fetch JOB [--json PATH]
@@ -13,8 +14,11 @@
 //! redbin-submit --server HOST:PORT shutdown
 //! ```
 //!
-//! `submit`/`sleep` wait for completion and print the result body by
-//! default; `--no-wait` prints the accepted job id instead. A batch
+//! `submit`/`custom`/`sleep` wait for completion and print the result
+//! body by default; `--no-wait` prints the accepted job id instead.
+//! `custom` submits the given assembly file; the server runs the
+//! `redbin-analyze` program verifier before queueing and rejects anything
+//! it cannot prove memory-safe and terminating. A batch
 //! manifest is `{"jobs":[{"experiment":"figure9","scale":"test"},…]}`;
 //! results are collected into one document keyed by job id.
 //!
@@ -37,6 +41,7 @@ fn usage() -> ! {
          [--bypass Full|No-1|No-2|No-3|No-1,2|No-2,3] [--rb-rf-only] \
          [--deadline-ms N] [--no-wait] [--json PATH] \
          [--retries N] [--retry-after-cap SECONDS] \
+         | custom FILE.s [--scale test|small|full] [--deadline-ms N] [--no-wait] \
          | sleep MILLIS [--deadline-ms N] [--no-wait] \
          | poll JOB | fetch JOB [--json PATH] \
          | batch MANIFEST [--json PATH] | stats | metrics | shutdown)"
@@ -199,7 +204,7 @@ fn run_batch(client: &Client, manifest_path: &str, opts: &Opts) -> ExitCode {
     let mut hits = 0u64;
     for spec in specs {
         let (job, body, cache_hit) = client
-            .run_to_completion(spec, opts.deadline_ms, Duration::from_secs(3600))
+            .run_to_completion(spec.clone(), opts.deadline_ms, Duration::from_secs(3600))
             .unwrap_or_else(|e| fail(e));
         eprintln!(
             "{}: job {job} done (cache {})",
@@ -254,6 +259,21 @@ fn main() -> ExitCode {
             }
             let opts = parse_opts(&rest[2..]);
             submit_and_report(&client, spec_from(experiment, &opts), &opts)
+        }
+        "custom" => {
+            let Some(path) = rest.get(1) else { usage() };
+            let source = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            let opts = parse_opts(&rest[2..]);
+            let mut spec_json = Json::object();
+            spec_json.set("experiment", Json::Str("custom".into()));
+            spec_json.set(
+                "scale",
+                Json::Str(opts.scale.clone().unwrap_or_else(|| "test".into())),
+            );
+            spec_json.set("source", Json::Str(source));
+            let spec = JobSpec::from_json(&spec_json).unwrap_or_else(|e| fail(e));
+            submit_and_report(&client, spec, &opts)
         }
         "sleep" => {
             let millis: u64 = rest

@@ -176,7 +176,7 @@ impl Client {
         let seed = spec.canonical_key();
         let mut attempt = 0;
         loop {
-            match self.submit(spec, deadline_ms)? {
+            match self.submit(spec.clone(), deadline_ms)? {
                 Response::RetryAfter { seconds } if attempt < policy.retries => {
                     attempt += 1;
                     std::thread::sleep(policy.backoff(seed, attempt, seconds));
@@ -280,7 +280,7 @@ impl Client {
         let give_up = Deadline::after(overall_timeout);
         // Submit, backing off on explicit backpressure.
         let (job, cache_hit, mut state) = loop {
-            match self.submit(spec, deadline_ms)? {
+            match self.submit(spec.clone(), deadline_ms)? {
                 Response::Accepted { job, cache_hit, state } => break (job, cache_hit, state),
                 Response::RetryAfter { seconds } => {
                     if give_up.expired() {

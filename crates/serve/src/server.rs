@@ -100,6 +100,7 @@ struct Counters {
     deduped: u64,
     rejected: u64,
     rejected_unsound: u64,
+    rejected_unsafe_program: u64,
     completed: u64,
     failed: u64,
     expired: u64,
@@ -314,7 +315,7 @@ fn worker_loop(shared: &Shared) {
                     rec.state = JobState::Running;
                     let out = (
                         id.clone(),
-                        rec.spec,
+                        rec.spec.clone(),
                         Arc::clone(&rec.cancelled),
                         rec.deadline,
                         rec.queued_at.elapsed().as_millis() as u64,
@@ -587,6 +588,10 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
     // would wedge or mis-simulate, so it is rejected here with a
     // structured error instead of being queued to fail later.
     let unsound = redbin_analyze::bypass::validate_job_configs(&spec.machine_configs()).err();
+    // Program verifier gate for custom jobs, also outside the lock: the
+    // submitted source must assemble and prove memory-safe + terminating
+    // before a worker will ever simulate it (see SERVING.md).
+    let unsafe_program = verify_custom_program(&spec).err();
     let mut inner = lock_inner(shared);
     if inner.draining {
         return Response::Error {
@@ -598,6 +603,10 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
         return Response::Error {
             message: e.to_string(),
         };
+    }
+    if let Some(e) = unsafe_program {
+        inner.counters.rejected_unsafe_program += 1;
+        return Response::Error { message: e };
     }
 
     // Content-addressed fast path: the result already exists.
@@ -654,6 +663,45 @@ fn handle_submit(spec: JobSpec, deadline_ms: Option<u64>, shared: &Shared) -> Re
         job: id,
         cache_hit: false,
         state: JobState::Queued,
+    }
+}
+
+/// Assembles and safety-verifies a [`ExperimentKind::Custom`] job's
+/// source. Lints stay off — the gate is the safety tier only: every
+/// load/store provably inside a declared region and a termination proof.
+fn verify_custom_program(spec: &JobSpec) -> Result<(), String> {
+    use redbin_analyze::program::{analyze_program, AnalyzeOptions};
+    if spec.kind != redbin::wire::ExperimentKind::Custom {
+        return Ok(());
+    }
+    let src = spec
+        .custom
+        .as_deref()
+        .ok_or_else(|| "rejected unsafe program: custom job has no source".to_string())?;
+    let prog = redbin::workload::text::parse(src)
+        .map_err(|e| format!("rejected unsafe program: does not assemble: {e}"))?;
+    let a = analyze_program(&prog, None, &AnalyzeOptions { lints: false, ..Default::default() });
+    if a.safe() {
+        return Ok(());
+    }
+    let mut msg = format!(
+        "rejected unsafe program: memory {}, termination {}",
+        verdict_word(a.memory),
+        verdict_word(a.termination),
+    );
+    for note in &a.notes {
+        msg.push_str("; ");
+        msg.push_str(note);
+    }
+    Err(msg)
+}
+
+/// [`Verdict`] label for rejection messages.
+fn verdict_word(v: redbin_analyze::program::Verdict) -> &'static str {
+    match v {
+        redbin_analyze::program::Verdict::Proved => "proved",
+        redbin_analyze::program::Verdict::Violated => "VIOLATED",
+        redbin_analyze::program::Verdict::Unknown => "unprovable",
     }
 }
 
@@ -729,6 +777,10 @@ fn stats_body(shared: &Shared) -> Json {
         "rejected-unsound",
         Json::UInt(inner.counters.rejected_unsound),
     );
+    jobs.set(
+        "rejected-unsafe-program",
+        Json::UInt(inner.counters.rejected_unsafe_program),
+    );
     jobs.set("completed", Json::UInt(inner.counters.completed));
     jobs.set("failed", Json::UInt(inner.counters.failed));
     jobs.set("expired", Json::UInt(inner.counters.expired));
@@ -783,6 +835,10 @@ fn metrics_text(shared: &Shared) -> String {
     reg.add("jobs-deduped", inner.counters.deduped);
     reg.add("jobs-rejected", inner.counters.rejected);
     reg.add("jobs-rejected-unsound", inner.counters.rejected_unsound);
+    reg.add(
+        "jobs-rejected-unsafe-program",
+        inner.counters.rejected_unsafe_program,
+    );
     reg.add("jobs-completed", inner.counters.completed);
     reg.add("jobs-failed", inner.counters.failed);
     reg.add("jobs-expired", inner.counters.expired);

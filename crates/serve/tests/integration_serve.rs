@@ -41,7 +41,7 @@ fn figure9_twice_hits_cache_byte_identically() {
     let spec = JobSpec::new(ExperimentKind::Figure9, Scale::Test);
 
     let (job1, body1, hit1) = client
-        .run_to_completion(spec, None, Duration::from_secs(300))
+        .run_to_completion(spec.clone(), None, Duration::from_secs(300))
         .expect("first run completes");
     assert!(!hit1, "first submission must be a miss");
 
@@ -259,6 +259,73 @@ fn unsound_config_is_rejected_before_queueing() {
         .expect("sound submit");
     assert!(matches!(ok, Response::Accepted { .. }));
 
+    shut_down(&client, handle);
+}
+
+#[test]
+fn unsafe_custom_program_is_rejected_before_queueing() {
+    // A custom program whose store provably lands outside every declared
+    // region must be rejected at submit time with a structured error —
+    // driven through the real `redbin-submit` binary, per the PR
+    // acceptance criteria.
+    let (client, handle) = start_server(ServeConfig::default());
+    let dir = std::env::temp_dir().join(format!("redbin-custom-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let bad_path = dir.join("oob.s");
+    std::fs::write(
+        &bad_path,
+        "        .reg r1, 0x2000
+                 stq r2, 0(r1)          ; outside the declared region
+                 halt
+                 .bss
+                 .org 0x1000
+                 .space 8
+",
+    )
+    .expect("write bad program");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_redbin-submit"))
+        .args(["--server", client.addr(), "custom", bad_path.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run redbin-submit");
+    assert!(!out.status.success(), "unsafe submission must fail");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("rejected unsafe program"), "{stderr}");
+    assert!(stderr.contains("memory VIOLATED"), "{stderr}");
+
+    // The rejection happened before queueing and is counted on its own
+    // counter, not as backpressure or a submission.
+    let stats = client.stats().expect("stats");
+    let jobs = stats.get("jobs").expect("jobs section");
+    assert_eq!(
+        jobs.get("rejected-unsafe-program").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(jobs.get("submitted").and_then(Json::as_u64), Some(0));
+    assert!(client.metrics().expect("metrics").contains("jobs-rejected-unsafe-program 1"));
+
+    // A provably safe program sails through the same gate and runs on all
+    // four 8-wide machines.
+    let good_path = dir.join("ok.s");
+    std::fs::write(
+        &good_path,
+        "        .reg r1, 5
+         top:    subq r1, #1, r1
+                 bgt r1, top
+                 halt
+",
+    )
+    .expect("write good program");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_redbin-submit"))
+        .args(["--server", client.addr(), "custom", good_path.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run redbin-submit");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(out.status.success(), "safe submission runs: {stdout}");
+    assert!(stdout.contains("\"models\""), "{stdout}");
+    assert!(stdout.contains("\"Ideal\""), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
     shut_down(&client, handle);
 }
 

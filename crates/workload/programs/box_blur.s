@@ -102,3 +102,10 @@ ck_done:
         halt
 
         .include "fill.s"
+
+; Declared memory regions, sized for the full scale (120x80 byte pixels).
+        .bss
+        .org SRC
+        .space 0x4000               ; 120 * 80 = 9600 bytes
+        .org DST
+        .space 0x4000

@@ -95,3 +95,12 @@ cs_done:
         halt
 
         .include "fill.s"
+
+; Declared memory regions, sized for the full scale (40x40 quadwords).
+        .bss
+        .org A
+        .space 0x4000               ; 40 * 40 * 8 = 12800 bytes
+        .org B
+        .space 0x4000
+        .org C
+        .space 0x4000

@@ -145,3 +145,14 @@ ck:     cmplt r1, r18, r3
         addq r1, #1, r1
         br ck
 done:   halt
+
+; Declared memory regions, sized for the full scale (64x48 pixels). The
+; encoded stream is injected at STREAM by the test harness; the declared
+; region must cover it, since declared regions replace derived extents.
+        .bss
+        .org STREAM
+        .space 0x8000               ; worst-case RGBA stream, 5 bytes/pixel
+        .org OUT
+        .space 0x4000               ; 3072 pixels * 4 bytes
+        .org TABLE
+        .space 0x400                ; 64 entries * 4 bytes

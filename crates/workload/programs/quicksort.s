@@ -105,3 +105,12 @@ part_done:
 qs_ret: ret r26
 
         .include "fill.s"
+
+; Declared memory regions, sized for the full scale (4000 quadwords).
+; `.space` in `.bss` reserves the address range for the bounds verifier
+; (`redbin-analyze programs`) without emitting any image bytes.
+        .bss
+        .org ARRAY
+        .space 0x8000               ; the array: 4000 * 8 = 32000 bytes
+        .org STACK_TOP - 0x80000
+        .space 0x80000              ; recursion stack, grows down from STACK_TOP

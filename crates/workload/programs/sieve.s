@@ -52,3 +52,8 @@ c_next: addq r20, #1, r20
 done:   sll r23, #48, r23
         xor r9, r23, r9
         halt
+
+; Declared memory region, sized for the full scale (100000 byte flags).
+        .bss
+        .org FLAGS
+        .space 0x20000

@@ -44,6 +44,7 @@ pub struct Asm {
     labels: HashMap<String, usize>,
     data: Vec<(u64, Vec<u8>)>,
     init_regs: Vec<(u8, u64)>,
+    regions: Vec<(u64, u64)>,
 }
 
 impl Asm {
@@ -55,6 +56,7 @@ impl Asm {
             labels: HashMap::new(),
             data: Vec::new(),
             init_regs: Vec::new(),
+            regions: Vec::new(),
         }
     }
 
@@ -245,6 +247,15 @@ impl Asm {
         self.init_regs.push((r.0, v));
     }
 
+    /// Declares a scratch memory region of `len` bytes at `addr`: storage
+    /// the program writes before reading (hash tables, result buffers)
+    /// and so carries no initial bytes. Static analysis proves every
+    /// load/store lands inside a declared region or an initial data
+    /// chunk; scratch areas must be declared to be provably in bounds.
+    pub fn scratch(&mut self, addr: u64, len: u64) {
+        self.regions.push((addr, len));
+    }
+
     /// The current instruction count (the address the next instruction
     /// will occupy).
     pub fn here(&self) -> usize {
@@ -264,9 +275,15 @@ impl Asm {
             .map(|(site, p)| match p {
                 Pending::Done(i) => *i,
                 Pending::Branch { op, ra, rc, label } => {
+                    // Labels here are spelled by this repo's kernel
+                    // builders, never by external input (server-supplied
+                    // programs assemble through `text::parse`, which
+                    // returns errors); a typo is a build defect every
+                    // kernel's unit test catches at `cargo test` time.
                     let target = *self
                         .labels
                         .get(label)
+                        // redbin-lint: allow(no-panic)
                         .unwrap_or_else(|| panic!("undefined label `{label}`"));
                     let disp = target as i64 - (site as i64 + 1);
                     match op {
@@ -278,8 +295,18 @@ impl Asm {
             })
             .collect();
         let mut prog = Program::new(code).with_name(self.name);
+        // Declared regions replace the derived data extents wholesale, so
+        // when any scratch region exists, the data chunks must be declared
+        // alongside it.
+        let declare_data = !self.regions.is_empty();
         for (addr, bytes) in self.data {
+            if declare_data {
+                prog = prog.with_region(addr, bytes.len() as u64);
+            }
             prog = prog.with_data(addr, bytes);
+        }
+        for (addr, len) in self.regions {
+            prog = prog.with_region(addr, len);
         }
         for (r, v) in self.init_regs {
             prog = prog.with_reg(r, v);
@@ -351,6 +378,16 @@ mod tests {
         let mut a = Asm::new("t");
         a.label("x");
         a.label("x");
+    }
+
+    #[test]
+    fn scratch_regions_cover_data_and_scratch() {
+        let mut a = Asm::new("t");
+        a.data_u64(0x1000, &[1, 2]);
+        a.scratch(0x2000, 64);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.memory_regions(), vec![(0x1000, 16), (0x2000, 64)]);
     }
 
     #[test]

@@ -190,6 +190,7 @@ pub fn gap(units: u64) -> Program {
     let mut a = Asm::new("gap");
     a.data_u64(SRC, &a_img);
     a.data_u64(TAB, &b_img);
+    a.scratch(AUX, numbers * limbs * 8); // the result area
     a.init_reg(r(1), SRC);
     a.init_reg(r(2), TAB);
     a.init_reg(r(3), AUX); // result area
@@ -244,6 +245,7 @@ pub fn gzip(units: u64) -> Program {
     let len = units.max(64);
     let mut a = Asm::new("gzip");
     a.data_bytes(SRC, text_like_bytes(len as usize + 64, 60, 0x6219));
+    a.scratch(TAB, 8192 * 8); // the hash-head table
     a.init_reg(r(1), SRC); // window base
     a.init_reg(r(2), TAB); // head table (8K entries)
     a.li(r(3), 0); // position
@@ -472,6 +474,7 @@ pub fn vpr(units: u64) -> Program {
     let mut a = Asm::new("vpr");
     a.data_u64(TAB, &grid);
     a.init_reg(r(1), TAB);
+    a.init_reg(r(12), 0); // the cmov min chain reads r12 before first write
     a.li(r(2), units.max(1) as i64);
     a.li(r(3), (dim + 1) as i64); // position index (off the border)
     a.li(r(4), 0); // path cost

@@ -21,6 +21,7 @@ pub fn compress(units: u64) -> Program {
     let len = units.max(16);
     let mut a = Asm::new("compress");
     a.data_bytes(SRC, text_like_bytes(len as usize, 45, 0xC0FFEE));
+    a.scratch(TAB, 16 * 1024 * 8); // the 16K-entry hash table
     a.init_reg(r(1), SRC);
     a.init_reg(r(2), SRC + len);
     a.init_reg(r(3), TAB);
@@ -246,6 +247,7 @@ pub fn li(units: u64) -> Program {
     }
     let mut a = Asm::new("li");
     a.data_bytes(TAB, image);
+    a.scratch(AUX, 16 * units.max(1)); // cons arena: one 16-byte cell per trip
     a.init_reg(r(1), TAB); // list head
     a.init_reg(r(20), AUX); // bump allocator
     a.li(r(3), units.max(1) as i64);
@@ -383,6 +385,7 @@ pub fn perl_like(name: &str, units: u64, seed: u64, table: u64) -> Program {
         .collect();
     let mut a = Asm::new(name);
     a.data_u64(SRC, &stream);
+    a.scratch(TAB, table * 8);
     a.init_reg(r(1), SRC);
     a.init_reg(r(2), TAB);
     a.li(r(3), 0); // word index
@@ -457,6 +460,7 @@ pub fn vortex_like(name: &str, units: u64, records: u64, seed: u64) -> Program {
     }
     let mut a = Asm::new(name);
     a.data_bytes(TAB, image);
+    a.scratch(AUX, 64); // the record copy buffer
     a.init_reg(r(1), TAB);
     a.init_reg(r(20), AUX); // copy buffer
     a.li(r(3), units.max(1) as i64);

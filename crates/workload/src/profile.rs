@@ -60,8 +60,7 @@ impl Profile {
             p.dynamic_insts += 1;
             p.table1.record(r.inst.op);
             let class = latency_class(r.inst.op);
-            let idx = LatencyClass::all().iter().position(|c| *c == class).expect("class");
-            p.class_counts[idx] += 1;
+            p.class_counts[class.index()] += 1;
             if r.inst.op.is_conditional_branch() {
                 p.branches += 1;
                 if r.taken == Some(true) {
@@ -98,8 +97,7 @@ impl Profile {
         if self.dynamic_insts == 0 {
             return 0.0;
         }
-        let idx = LatencyClass::all().iter().position(|c| *c == class).expect("class");
-        self.class_counts[idx] as f64 / self.dynamic_insts as f64
+        self.class_counts[class.index()] as f64 / self.dynamic_insts as f64
     }
 
     /// Fraction of conditional branches taken.

@@ -127,7 +127,23 @@ impl WholeProgram {
     /// If a shipped `.s` file fails to assemble — a build defect, caught
     /// by this module's tests.
     pub fn program(self, scale: Scale) -> Program {
-        let prog = text::parse_with(self.source(), &lib_source)
+        self.program_with_listing(scale).0
+    }
+
+    /// Like [`program`](Self::program), but also returns the assembler
+    /// [`Listing`](text::Listing) mapping each instruction back to its
+    /// source position (used by the `redbin-analyze programs` lints).
+    ///
+    /// # Panics
+    ///
+    /// As [`program`](Self::program).
+    pub fn program_with_listing(self, scale: Scale) -> (Program, text::Listing) {
+        // The `.s` sources are compiled into the binary; a file that no
+        // longer assembles is a build defect this module's tests catch,
+        // not a runtime condition (server-supplied text goes through the
+        // fallible `text::parse` instead).
+        let (prog, listing) = text::parse_with_listing(self.source(), &lib_source)
+            // redbin-lint: allow(no-panic)
             .unwrap_or_else(|e| panic!("{}.s does not assemble: {e}", self.name()));
         let (a, b) = self.size(scale);
         let mut prog = prog.with_name(format!("{}-{}", self.name(), scale_tag(scale)));
@@ -144,7 +160,7 @@ impl WholeProgram {
                 prog = prog.with_reg(16, a);
             }
         }
-        prog
+        (prog, listing)
     }
 
     /// The checksum the program must leave in `r9`, computed by a Rust

@@ -116,6 +116,59 @@ impl IncludeSource for NoIncludes {
     }
 }
 
+/// The source position an assembled instruction came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstSpan {
+    /// The file the instruction is in (`None` for the top-level input).
+    pub file: Option<String>,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column of the mnemonic.
+    pub column: usize,
+}
+
+impl std::fmt::Display for InstSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.file {
+            Some(name) => write!(f, "{name}:{}:{}", self.line, self.column),
+            None => write!(f, "{}:{}", self.line, self.column),
+        }
+    }
+}
+
+/// Source-level metadata for an assembled program: the per-instruction
+/// line:column spans plus every `redbin-lint: allow(<rule>)` comment —
+/// what lets the static program passes render findings at their source
+/// positions and honor the workspace-wide suppression convention.
+#[derive(Debug, Clone, Default)]
+pub struct Listing {
+    spans: Vec<InstSpan>,
+    /// `(file, line, comment text)` of every allow-comment seen.
+    allows: Vec<(Option<String>, usize, String)>,
+}
+
+impl Listing {
+    /// The span of instruction `index`, when known.
+    pub fn span(&self, index: usize) -> Option<&InstSpan> {
+        self.spans.get(index)
+    }
+
+    /// `true` if instruction `index`'s source line — or the line above
+    /// it — carries `redbin-lint: allow(<rule>)`, mirroring the source
+    /// linter's suppression rule.
+    pub fn suppresses(&self, index: usize, rule: &str) -> bool {
+        let Some(span) = self.span(index) else {
+            return false;
+        };
+        let marker = format!("allow({rule})");
+        self.allows.iter().any(|(file, line, text)| {
+            file == &span.file
+                && (*line == span.line || *line + 1 == span.line)
+                && text.contains(&marker)
+        })
+    }
+}
+
 /// Parses a text program with no `.include` support.
 ///
 /// # Errors
@@ -133,6 +186,31 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
 ///
 /// As [`parse`], plus failed, cyclic, or too-deeply-nested includes.
 pub fn parse_with(source: &str, includes: &dyn IncludeSource) -> Result<Program, ParseError> {
+    Assembler::new(includes)
+        .assemble(source, None)
+        .map(|(p, _)| p)
+}
+
+/// Like [`parse`], but also returns the [`Listing`] mapping each
+/// instruction back to its source position (no `.include` support).
+///
+/// # Errors
+///
+/// As [`parse`].
+pub fn parse_listing(source: &str) -> Result<(Program, Listing), ParseError> {
+    parse_with_listing(source, &NoIncludes)
+}
+
+/// Like [`parse_with`], but also returns the [`Listing`] mapping each
+/// instruction back to its source position.
+///
+/// # Errors
+///
+/// As [`parse_with`].
+pub fn parse_with_listing(
+    source: &str,
+    includes: &dyn IncludeSource,
+) -> Result<(Program, Listing), ParseError> {
     Assembler::new(includes).assemble(source, None)
 }
 
@@ -144,6 +222,32 @@ pub fn parse_with(source: &str, includes: &dyn IncludeSource) -> Result<Program,
 /// As [`parse_with`], plus an unreadable root file (reported as a
 /// [`ParseError`] at line 0).
 pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<Program, ParseError> {
+    let path = path.as_ref();
+    let name = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| ParseError {
+        file: Some(name.clone()),
+        line: 0,
+        column: 0,
+        message: format!("cannot read file: {e}"),
+    })?;
+    let base = path.parent().map(|p| p.to_path_buf()).unwrap_or_default();
+    let fs_includes = move |p: &str| -> Result<String, String> {
+        std::fs::read_to_string(base.join(p)).map_err(|e| e.to_string())
+    };
+    Assembler::new(&fs_includes)
+        .assemble(&text, Some(name))
+        .map(|(p, _)| p)
+}
+
+/// Like [`parse_file`], but also returns the [`Listing`] mapping each
+/// instruction back to its source position (spans carry the file name).
+///
+/// # Errors
+///
+/// As [`parse_file`].
+pub fn parse_file_listing(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(Program, Listing), ParseError> {
     let path = path.as_ref();
     let name = path.display().to_string();
     let text = std::fs::read_to_string(path).map_err(|e| ParseError {
@@ -223,6 +327,11 @@ struct Assembler<'a> {
     section: Section,
     data_loc: u64,
     bss_loc: u64,
+    /// `.space` intervals with no chunk behind them (`.bss` storage and
+    /// unfilled `.data` gaps) — part of the program's declared regions.
+    space_regions: Vec<(u64, u64)>,
+    /// Every `redbin-lint: allow(...)` comment: `(file, line, text)`.
+    allows: Vec<(Option<String>, usize, String)>,
 }
 
 impl<'a> Assembler<'a> {
@@ -238,6 +347,8 @@ impl<'a> Assembler<'a> {
             section: Section::Text,
             data_loc: 0x1000,
             bss_loc: 0x10_0000,
+            space_regions: Vec::new(),
+            allows: Vec::new(),
         }
     }
 
@@ -250,7 +361,11 @@ impl<'a> Assembler<'a> {
         }
     }
 
-    fn assemble(mut self, source: &str, name: Option<String>) -> Result<Program, ParseError> {
+    fn assemble(
+        mut self,
+        source: &str,
+        name: Option<String>,
+    ) -> Result<(Program, Listing), ParseError> {
         // Flatten includes into one line stream, then run the two passes.
         let mut lines = Vec::new();
         let root_file = match name {
@@ -265,7 +380,18 @@ impl<'a> Assembler<'a> {
         for line in &lines {
             self.statement(line)?;
         }
-        self.finish()
+        let spans = self
+            .insts
+            .iter()
+            .map(|p| InstSpan {
+                file: self.files.get(p.pos.file).cloned(),
+                line: p.pos.line,
+                column: p.pos.column,
+            })
+            .collect();
+        let allows = std::mem::take(&mut self.allows);
+        let program = self.finish()?;
+        Ok((program, Listing { spans, allows }))
     }
 
     /// Expands `.include` directives depth-first into a flat line stream.
@@ -278,6 +404,14 @@ impl<'a> Assembler<'a> {
     ) -> Result<(), ParseError> {
         for (lineno, raw) in source.lines().enumerate() {
             let line = lineno + 1;
+            if let Some(pos) = raw.find("redbin-lint:") {
+                let file_name = if file == usize::MAX {
+                    None
+                } else {
+                    self.files.get(file).cloned()
+                };
+                self.allows.push((file_name, line, raw[pos..].to_string()));
+            }
             let text = strip_comment(raw);
             let trimmed = text.trim_start();
             if let Some(rest) = trimmed.strip_prefix(".include") {
@@ -580,6 +714,14 @@ impl<'a> Assembler<'a> {
                         addr: self.data_loc,
                         payload: Payload::Bytes(vec![b; count as usize]),
                     });
+                } else if count > 0 {
+                    // Unfilled storage never becomes a data chunk, so it
+                    // must be declared as a region directly.
+                    let loc = match self.section {
+                        Section::Bss => self.bss_loc,
+                        _ => self.data_loc,
+                    };
+                    self.space_regions.push((loc, count as u64));
                 }
                 match self.section {
                     Section::Bss => self.bss_loc += count as u64,
@@ -669,6 +811,15 @@ impl<'a> Assembler<'a> {
         };
         let mut program = Program::new(code);
         program.entry = entry;
+        // Declare the `.data`/`.bss` footprint explicitly: every chunk's
+        // extent plus the unfilled `.space` intervals. The static bounds
+        // pass proves loads and stores against exactly these regions.
+        for (addr, bytes) in &data {
+            program = program.with_region(*addr, bytes.len() as u64);
+        }
+        for &(addr, len) in &self.space_regions {
+            program = program.with_region(addr, len);
+        }
         for (addr, bytes) in data {
             program = program.with_data(addr, bytes);
         }
@@ -1566,6 +1717,43 @@ mod tests {
         let src = format!("addq r31, #1, r1\n{i}\nhalt\n");
         let p = parse(&src).expect("parses");
         assert_eq!(p.code[1], i);
+    }
+
+    #[test]
+    fn listing_spans_and_allow_comments() {
+        let src = "\
+        .reg r1, 3
+start:  addq r1, #1, r2
+        ; redbin-lint: allow(unused-result)
+        addq r2, #1, r3
+        addq r3, #1, r4 ; redbin-lint: allow(dead-store)
+        halt
+";
+        let (p, listing) = parse_with_listing(src, &NoIncludes).expect("parses");
+        assert_eq!(p.code.len(), 4);
+        let s0 = listing.span(0).expect("span");
+        assert_eq!((s0.file.as_deref(), s0.line, s0.column), (None, 2, 9));
+        assert_eq!(listing.span(3).map(|s| s.line), Some(6));
+        assert!(listing.span(4).is_none());
+        // allow() suppresses on the same line and from the line above.
+        assert!(listing.suppresses(1, "unused-result"));
+        assert!(!listing.suppresses(1, "dead-store"));
+        assert!(listing.suppresses(2, "dead-store"));
+        assert!(!listing.suppresses(0, "unused-result"));
+    }
+
+    #[test]
+    fn sections_declare_memory_regions() {
+        let src = r#"
+                .data 0x1000
+        tab:    .quad 1, 2, 3
+                .bss 0x5000
+        buf:    .space 64
+                .text
+                halt
+        "#;
+        let p = parse(src).expect("parses");
+        assert_eq!(p.memory_regions(), vec![(0x1000, 24), (0x5000, 64)]);
     }
 
     #[test]

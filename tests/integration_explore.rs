@@ -102,10 +102,18 @@ fn default_grid_pruning_matches_the_analyzer() {
 fn small_grid_frontier_matches_golden() {
     let grid = GridSpec::golden_small();
     let outcome = explore(&grid, &local()).expect("explores");
-    check_golden(
-        "explore_frontier_test.json",
-        &report::to_json(&outcome).to_pretty(),
-    );
+    let doc = report::to_json(&outcome);
+    // Every point reports its static dataflow limit, and no simulated
+    // IPC exceeds it — the frontier invariant behind `pct-of-bound`.
+    let points = doc.get("points").and_then(json::Json::as_array).expect("points");
+    assert_eq!(points.len(), 8);
+    for p in points {
+        let ipc = p.get("hmean-ipc").and_then(json::Json::as_f64).expect("ipc");
+        let bound = p.get("bound-ipc").and_then(json::Json::as_f64).expect("bound");
+        assert!(bound > 0.0);
+        assert!(ipc <= bound + 1e-9, "simulated IPC beats the dataflow limit");
+    }
+    check_golden("explore_frontier_test.json", &doc.to_pretty());
 }
 
 /// The report document is identical under the event-driven and the O(n²)

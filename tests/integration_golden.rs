@@ -109,6 +109,9 @@ fn render_hash_manifest() -> String {
         if kind == ExperimentKind::Point {
             continue; // point jobs need a spec; pinned under `explore-grid`
         }
+        if kind == ExperimentKind::Custom {
+            continue; // custom ids hash the submitted source, not a preset
+        }
         for scale in [Scale::Test, Scale::Small, Scale::Full] {
             let spec = JobSpec::new(kind, scale);
             jobs.set(
